@@ -1,0 +1,26 @@
+"""Fig. 10 — single-core performance (cycle-based, capacity, overall).
+
+Paper: cycle geomeans LCP 0.938 / LCP+Align 0.961 / Compresso 0.998;
+capacity means at 70% LCP 1.11 / Compresso 1.29 / unconstrained 1.39;
+overall LCP 1.03 / LCP+Align 1.06 / Compresso 1.28 (Compresso +24%).
+"""
+
+from repro.analysis import run_fig10
+
+from conftest import run_once
+
+
+def test_fig10_single_core(benchmark, scale, show):
+    result = run_once(benchmark, run_fig10, scale)
+    show(result)
+    s = result.summary
+    # Compresso's cycle-based performance stays near the uncompressed
+    # system while plain LCP pays a visible penalty.
+    assert s["compresso cycle geomean"] > s["lcp cycle geomean"]
+    # Capacity: compression beats the constrained baseline, bounded by
+    # the unconstrained system.
+    assert s["compresso capacity mean"] >= s["lcp capacity mean"] - 0.02
+    assert (s["compresso capacity mean"]
+            <= s["unconstrained capacity mean"] + 0.02)
+    # Overall: Compresso delivers the biggest end-to-end win.
+    assert s["compresso overall geomean"] > s["lcp overall geomean"]

@@ -1,0 +1,20 @@
+"""Fig. 11 — 4-core performance over the Tab. IV mixes.
+
+Paper: cycle geomeans LCP 0.90 / LCP+Align 0.95 / Compresso 0.975;
+capacity LCP 1.97 / Compresso 2.33 (unconstrained 2.51); overall
+LCP 1.78 / LCP+Align 1.90 / Compresso 2.27 (Compresso +27.5%).
+"""
+
+from repro.analysis import run_fig11
+
+from conftest import run_once
+
+
+def test_fig11_multi_core(benchmark, scale, show):
+    result = run_once(benchmark, run_fig11, scale)
+    show(result)
+    s = result.summary
+    assert s["compresso cycle geomean"] > s["lcp cycle geomean"]
+    assert s["compresso overall geomean"] > s["lcp overall geomean"]
+    assert (s["compresso capacity mean"]
+            <= s["unconstrained capacity mean"] + 0.02)

@@ -1,0 +1,20 @@
+"""Fig. 2 — compression ratio of {BPC, BDI} x {LinePack, LCP}.
+
+Paper: BPC+LinePack averages 1.85x; LCP packing loses ~13% with BPC
+but only ~2.3% with BDI.
+"""
+
+from repro.analysis import run_fig2
+
+from conftest import run_once
+
+
+def test_fig2_compression_ratio(benchmark, scale, show):
+    result = run_once(benchmark, run_fig2, scale)
+    show(result)
+    ratios = result.summary
+    # Shape assertions: BPC+LinePack is the best combination and LCP
+    # costs BPC more than it costs BDI (relatively).
+    assert ratios["bpc+linepack mean"] >= ratios["bpc+lcp mean"]
+    assert ratios["bpc+linepack mean"] > ratios["bdi+linepack mean"]
+    assert 1.4 < ratios["bpc+linepack mean"] < 3.0

@@ -1,0 +1,19 @@
+"""Fig. 4 — extra data movement of an unoptimized compressed system.
+
+Paper: 63% additional accesses on average (max 180%), split between
+split-access lines, overflow handling, and metadata-cache misses.
+"""
+
+from repro.analysis import run_fig4
+
+from conftest import run_once
+
+
+def test_fig4_data_movement(benchmark, scale, show):
+    result = run_once(benchmark, run_fig4, scale)
+    show(result)
+    fixed = result.summary["fixed mean extra"]
+    # The problem the paper demonstrates must be material: tens of
+    # percent of extra traffic before any optimization.
+    assert fixed > 0.25
+    assert result.summary["max extra"] > 0.8

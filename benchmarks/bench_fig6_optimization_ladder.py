@@ -1,0 +1,20 @@
+"""Fig. 6 — data-movement reduction as optimizations are applied.
+
+Paper ladder (averages): 63% -> 36% (alignment) -> 26% (prediction)
+-> 19% (IR expansion) -> 15% (metadata cache).
+"""
+
+from repro.analysis import run_fig6
+
+from conftest import run_once
+
+
+def test_fig6_optimization_ladder(benchmark, scale, show):
+    result = run_once(benchmark, run_fig6, scale)
+    show(result)
+    means = [value for key, value in result.summary.items()]
+    baseline, final = means[0], means[-1]
+    # The full optimization stack must cut extra accesses materially,
+    # with alignment the single biggest step (as in the paper).
+    assert final < baseline * 0.8
+    assert means[1] < baseline

@@ -1,0 +1,21 @@
+"""§VII-C/D/E — energy/area overheads and the offset-calculation adder.
+
+Paper: BPC <0.4% of channel power; metadata cache access <0.8% of a
+DRAM read; offset adder <1.5K NAND gates, 38 -> 32 gate delays, one
+visible cycle at DDR4-2666.
+"""
+
+from repro.analysis import run_sec7_energy_area
+
+from conftest import run_once
+
+
+def test_sec7_energy_area(benchmark, scale, show):
+    result = run_once(benchmark, run_sec7_energy_area)
+    show(result)
+    values = {row["quantity"]: row["value"] for row in result.rows}
+    assert values["bpc_vs_channel_power"] < 0.004 + 1e-9
+    assert values["metadata_vs_dram_read"] < 0.008 + 1e-9
+    assert values["adder_nand_gates"] < 1500
+    assert values["adder_gate_delays_optimized"] <= 32
+    assert values["adder_visible_cycles"] == 1

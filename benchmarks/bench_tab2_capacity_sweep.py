@@ -1,0 +1,23 @@
+"""Tab. II — capacity-impact speedups at 80/70/60% memory budgets.
+
+Paper (1-core, relative to the uncompressed constrained system):
+80%: LCP 1.04 / Compresso 1.15 / unconstrained 1.24
+70%: LCP 1.11 / Compresso 1.29 / unconstrained 1.39
+60%: LCP 1.28 / Compresso 1.56 / unconstrained 1.72
+"""
+
+from repro.analysis import run_tab2
+
+from conftest import run_once
+
+
+def test_tab2_capacity_sweep(benchmark, scale, show):
+    result = run_once(benchmark, run_tab2, scale)
+    show(result)
+    rows = {row["budget"]: row for row in result.rows}
+    # Tighter budgets help compression more (monotone in the fraction).
+    assert rows["60%"]["compresso"] >= rows["70%"]["compresso"] - 0.05
+    assert rows["70%"]["compresso"] >= rows["80%"]["compresso"] - 0.05
+    for row in result.rows:
+        assert row["compresso"] >= row["lcp"] - 0.03
+        assert row["compresso"] <= row["unconstrained"] + 0.02

@@ -1,0 +1,53 @@
+"""Shared configuration for the paper-reproduction benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper via
+:mod:`repro.analysis.experiments` and prints the paper-shaped rows
+(visible with ``pytest benchmarks/ --benchmark-only -s`` or in the
+captured output).
+
+Problem size is selected with the ``REPRO_BENCH_SCALE`` environment
+variable: ``quick`` (seconds per experiment, 4 benchmarks), ``default``
+(the full 30-benchmark suite at reduced trace length — the shipped
+EXPERIMENTS.md numbers), or ``full`` (sharper statistics, slow).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import DEFAULT, FULL, QUICK, render
+
+_SCALES = {"quick": QUICK, "default": DEFAULT, "full": FULL}
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a rendered experiment result (survives pytest capture)."""
+
+    def _show(result):
+        text = render(result)
+        print()
+        print(text)
+        return text
+
+    return _show
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are minutes-long end-to-end experiments; statistical rounds
+    would add nothing but wall-clock.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Design-space exploration: the §IV-A trade-offs, interactively.
+
+An architect's tour of the knobs the paper studies: line-size bins
+(count and placement), packing scheme, and each data-movement
+optimization — measured on one workload so the trade-offs are visible
+in minutes.
+
+Run:  python examples/design_space_explorer.py [benchmark]
+"""
+
+import sys
+
+from repro.core.config import (
+    ALIGNMENT_FRIENDLY_LINE_BINS,
+    EIGHT_LINE_BINS,
+    PRIOR_WORK_LINE_BINS,
+    compresso_config,
+    lcp_config,
+)
+from repro.simulation import SimulationConfig, simulate
+from repro.workloads import get_profile
+
+SIM = SimulationConfig(n_events=3000, scale=0.03, seed=5)
+
+
+def run(profile, label, config):
+    result = simulate(profile, label, SIM, config=config)
+    stats = result.controller_stats
+    breakdown = stats.breakdown()
+    return {
+        "design": label,
+        "ratio": result.final_ratio,
+        "extra": stats.relative_extra_accesses(),
+        "split": breakdown["split"],
+        "overflow": breakdown["overflow"],
+        "line_ovf": stats.line_overflows,
+    }
+
+
+def show(rows):
+    print(f"{'design':28s} {'ratio':>6s} {'extra':>7s} {'split':>7s} "
+          f"{'ovflow':>7s} {'lovf':>6s}")
+    for row in rows:
+        print(f"{row['design']:28s} {row['ratio']:6.2f} {row['extra']:6.1%} "
+              f"{row['split']:6.1%} {row['overflow']:6.1%} "
+              f"{row['line_ovf']:6d}")
+    print()
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    profile = get_profile(name)
+    print(f"design space on '{name}' "
+          f"({SIM.n_events} events, footprint scale {SIM.scale})\n")
+
+    print("--- line-size bins (count and placement, §IV-A1/B1) ---")
+    base = compresso_config(enable_overflow_prediction=False,
+                            enable_ir_expansion=False,
+                            enable_metadata_half_entries=False,
+                            enable_repacking=False)
+    show([
+        run(profile, "4 bins, prior (0/22/44/64)",
+            base.replace(line_bins=PRIOR_WORK_LINE_BINS)),
+        run(profile, "4 bins, aligned (0/8/32/64)",
+            base.replace(line_bins=ALIGNMENT_FRIENDLY_LINE_BINS)),
+        run(profile, "8 bins",
+            base.replace(line_bins=EIGHT_LINE_BINS)),
+    ])
+
+    print("--- packing scheme (§II-C) ---")
+    show([
+        run(profile, "linepack", base),
+        run(profile, "lcp (class targets)", lcp_config()),
+    ])
+
+    print("--- data-movement optimizations (§IV-B), cumulative ---")
+    config = base
+    rows = [run(profile, "none", config)]
+    for label, overrides in [
+        ("+prediction", dict(enable_overflow_prediction=True)),
+        ("+ir-expansion", dict(enable_ir_expansion=True)),
+        ("+repacking", dict(enable_repacking=True)),
+        ("+metadata half-entries", dict(enable_metadata_half_entries=True)),
+    ]:
+        config = config.replace(**overrides)
+        rows.append(run(profile, label, config))
+    show(rows)
+    print("the last row is the full Compresso design point")
+
+
+if __name__ == "__main__":
+    main()

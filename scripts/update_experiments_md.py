@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Insert the recorded bench_output.txt summaries into EXPERIMENTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only -s > bench_output.txt``:
+
+    python scripts/update_experiments_md.py
+
+It extracts each experiment's summary block (the lines between the
+dashed rule and the ``paper reports:`` marker) and replaces the
+``<!-- MEASURED -->`` section of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_summaries(bench_text: str) -> str:
+    """Pull the per-experiment summary blocks out of the bench log."""
+    blocks = []
+    pattern = re.compile(r"^== (\w+): (.+) ==$", re.MULTILINE)
+    matches = list(pattern.finditer(bench_text))
+    for index, match in enumerate(matches):
+        end = (matches[index + 1].start()
+               if index + 1 < len(matches) else len(bench_text))
+        section = bench_text[match.start():end]
+        lines = section.splitlines()
+        # Keep everything from the last dashed rule to 'paper reports:'.
+        rules = [i for i, line in enumerate(lines)
+                 if set(line.strip()) == {"-"} and line.strip()]
+        try:
+            stop = next(i for i, line in enumerate(lines)
+                        if line.startswith("paper reports:"))
+        except StopIteration:
+            stop = len(lines)
+        start = rules[-1] + 1 if rules and rules[-1] < stop else 1
+        summary = [line.rstrip() for line in lines[start:stop]
+                   if line.strip()]
+        blocks.append(f"### {match.group(1)} — {match.group(2)}\n\n```\n"
+                      + "\n".join(summary) + "\n```\n")
+    return "\n".join(blocks)
+
+
+def main() -> int:
+    bench_path = ROOT / "bench_output.txt"
+    doc_path = ROOT / "EXPERIMENTS.md"
+    if not bench_path.exists():
+        print("bench_output.txt not found; run the benchmark harness first",
+              file=sys.stderr)
+        return 1
+    measured = extract_summaries(bench_path.read_text())
+    doc = doc_path.read_text()
+    marker = "<!-- MEASURED -->"
+    if marker not in doc:
+        print("EXPERIMENTS.md is missing the MEASURED marker",
+              file=sys.stderr)
+        return 1
+    head, _, tail = doc.partition(marker)
+    # Drop any previously inserted content up to the next heading.
+    tail_lines = tail.splitlines()
+    keep_from = next((i for i, line in enumerate(tail_lines)
+                      if line.startswith("## ")), len(tail_lines))
+    doc = head + marker + "\n\n" + measured + "\n" + \
+        "\n".join(tail_lines[keep_from:]) + "\n"
+    doc_path.write_text(doc)
+    print(f"EXPERIMENTS.md updated with {measured.count('###')} summaries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

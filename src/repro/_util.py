@@ -1,0 +1,18 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_seed(*key) -> int:
+    """Deterministic 31-bit seed from a structured key.
+
+    Python's built-in ``hash`` is randomized per process for strings,
+    which would make traces differ between runs; every stochastic
+    component derives its RNG seed through this helper instead.
+    """
+    digest = hashlib.sha256(
+        "/".join(str(part) for part in key).encode()
+    ).digest()
+    return (int.from_bytes(digest[:4], "big") & 0x7FFFFFFF) or 1

@@ -1,0 +1,82 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures without pytest::
+
+    python -m repro.analysis fig2 fig9 --scale quick
+    python -m repro.analysis all --scale default
+
+Results render as the same rows/series the paper reports, with the
+paper's stated reference values attached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    DEFAULT,
+    FULL,
+    QUICK,
+    render,
+    run_ablation_design_space,
+    run_fig2,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_sec7_energy_area,
+    run_tab2,
+)
+
+RUNNERS = {
+    "fig2": run_fig2,
+    "fig4": run_fig4,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "tab2": run_tab2,
+    "ablation": run_ablation_design_space,
+    "sec7": run_sec7_energy_area,
+}
+
+SCALES = {"quick": QUICK, "default": DEFAULT, "full": FULL}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate Compresso paper tables/figures.",
+    )
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment ids ({', '.join(RUNNERS)}) or 'all'")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick",
+                        help="problem size (default: quick)")
+    args = parser.parse_args(argv)
+
+    names = list(RUNNERS) if "all" in args.experiments else args.experiments
+    unknown = [name for name in names if name not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; "
+                     f"known: {sorted(RUNNERS)}")
+    scale = SCALES[args.scale]
+
+    for name in names:
+        runner = RUNNERS[name]
+        started = time.time()
+        # sec7 is purely analytic and takes no scale.
+        result = runner() if name == "sec7" else runner(scale)
+        print(render(result))
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

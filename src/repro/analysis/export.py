@@ -1,0 +1,67 @@
+"""Export experiment results to CSV / JSON for external plotting.
+
+The ASCII renderer (:mod:`.report`) is for terminals; these writers
+produce machine-readable artifacts so the paper's figures can be
+re-plotted with any tool.  Both formats carry the full rows, the
+summary aggregates, and the paper's reference values.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .report import ExperimentResult
+
+
+def to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Serialize one experiment result as JSON."""
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [
+            {key: value for key, value in row.items()
+             if not key.startswith("_")}
+            for row in result.rows
+        ],
+        "summary": dict(result.summary),
+        "paper_values": dict(result.paper_values),
+        "notes": list(result.notes),
+    }
+    return json.dumps(payload, indent=indent, default=str)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Serialize the result's rows as CSV (columns in display order)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(result.columns),
+                            extrasaction="ignore")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_result(result: ExperimentResult,
+                 directory: Union[str, Path]) -> dict:
+    """Write ``<id>.json`` and ``<id>.csv`` into ``directory``.
+
+    Returns the paths written, keyed by format.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / f"{result.experiment_id}.json"
+    csv_path = directory / f"{result.experiment_id}.csv"
+    json_path.write_text(to_json(result))
+    csv_path.write_text(to_csv(result))
+    return {"json": json_path, "csv": csv_path}
+
+
+def write_results(results: Iterable[ExperimentResult],
+                  directory: Union[str, Path]) -> list:
+    """Write a batch of results; returns the path dicts in order."""
+    return [write_result(result, directory) for result in results]

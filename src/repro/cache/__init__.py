@@ -1,0 +1,12 @@
+"""Cache hierarchy substrate (L1/L2/L3, Tab. III)."""
+
+from .cache import Cache, CacheStats
+from .hierarchy import CacheHierarchy, HierarchyConfig, MemoryEvent
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyConfig",
+    "MemoryEvent",
+]

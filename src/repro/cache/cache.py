@@ -1,0 +1,97 @@
+"""Set-associative writeback cache model (paper Tab. III hierarchy).
+
+Used by the full-hierarchy simulation mode and the examples; the main
+experiments drive the memory controller with LLC-level traces directly
+(see :mod:`repro.workloads.tracegen`), which is the standard shortcut
+for memory-system studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate()
+
+
+class Cache:
+    """One cache level: set-associative, LRU, writeback + write-allocate."""
+
+    def __init__(self, size_bytes: int, assoc: int, line_size: int = 64,
+                 name: str = "cache") -> None:
+        if size_bytes % (assoc * line_size):
+            raise ValueError(f"{name}: size must divide into assoc x line sets")
+        self.name = name
+        self.line_size = line_size
+        self.assoc = assoc
+        self.n_sets = size_bytes // (assoc * line_size)
+        self.stats = CacheStats()
+        # Per set: OrderedDict tag -> dirty flag, LRU order (oldest first).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        block = address // self.line_size
+        return block % self.n_sets, block // self.n_sets
+
+    def access(self, address: int, is_write: bool) -> Tuple[bool, Optional[int]]:
+        """Access one address.
+
+        Returns ``(hit, writeback_address)``: on a miss the line is
+        allocated, evicting the LRU line; a dirty victim's address is
+        returned so the caller can propagate the writeback.
+        """
+        set_index, tag = self._locate(address)
+        entries = self._sets[set_index]
+        victim_address = None
+        if tag in entries:
+            self.stats.hits += 1
+            entries.move_to_end(tag)
+            if is_write:
+                entries[tag] = True
+            return True, None
+        self.stats.misses += 1
+        if len(entries) >= self.assoc:
+            victim_tag, dirty = next(iter(entries.items()))
+            del entries[victim_tag]
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+                victim_address = (
+                    (victim_tag * self.n_sets + set_index) * self.line_size
+                )
+        entries[tag] = is_write
+        return False, victim_address
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def flush(self) -> List[int]:
+        """Write back and drop everything; returns dirty line addresses."""
+        dirty_addresses = []
+        for set_index, entries in enumerate(self._sets):
+            for tag, dirty in entries.items():
+                if dirty:
+                    dirty_addresses.append(
+                        (tag * self.n_sets + set_index) * self.line_size
+                    )
+            entries.clear()
+        self.stats.writebacks += len(dirty_addresses)
+        return dirty_addresses

@@ -1,0 +1,94 @@
+"""Three-level cache hierarchy (paper Tab. III).
+
+64 KB L1D, 512 KB L2, and a 16-way 2 MB L3 per core (8 MB shared for
+the 4-core configuration).  The hierarchy filters a core's load/store
+stream into the LLC miss/writeback stream the memory controller sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .cache import Cache, CacheStats
+
+
+@dataclass
+class HierarchyConfig:
+    l1_bytes: int = 64 * 1024
+    l1_assoc: int = 8
+    l2_bytes: int = 512 * 1024
+    l2_assoc: int = 8
+    l3_bytes: int = 2 * 1024 * 1024
+    l3_assoc: int = 16
+    line_size: int = 64
+
+
+@dataclass
+class MemoryEvent:
+    """An LLC-level event produced by the hierarchy."""
+
+    address: int
+    is_writeback: bool
+
+
+class CacheHierarchy:
+    """L1 → L2 → L3 with writeback propagation.
+
+    ``access`` returns the list of memory events (LLC miss fill and/or
+    LLC dirty-victim writeback) the access generated — exactly the
+    stream a memory controller consumes.
+    """
+
+    def __init__(self, config: HierarchyConfig = HierarchyConfig(),
+                 shared_l3: Optional[Cache] = None) -> None:
+        self.config = config
+        line = config.line_size
+        self.l1 = Cache(config.l1_bytes, config.l1_assoc, line, "L1D")
+        self.l2 = Cache(config.l2_bytes, config.l2_assoc, line, "L2")
+        self.l3 = shared_l3 or Cache(config.l3_bytes, config.l3_assoc, line, "L3")
+
+    def access(self, address: int, is_write: bool) -> List[MemoryEvent]:
+        """One core load/store; returns LLC-level memory events."""
+        events: List[MemoryEvent] = []
+        hit, victim = self.l1.access(address, is_write)
+        self._spill(self.l2, victim, events, level=2)
+        if hit:
+            return events
+        hit, victim = self.l2.access(address, is_write=False)
+        self._spill(self.l3, victim, events, level=3)
+        if hit:
+            return events
+        hit, victim = self.l3.access(address, is_write=False)
+        if victim is not None:
+            events.append(MemoryEvent(victim, is_writeback=True))
+        if not hit:
+            events.append(MemoryEvent(address, is_writeback=False))
+        return events
+
+    def _spill(self, lower: Cache, victim: Optional[int],
+               events: List[MemoryEvent], level: int) -> None:
+        """Install a dirty victim one level down, propagating evictions."""
+        if victim is None:
+            return
+        _, next_victim = lower.access(victim, is_write=True)
+        if level == 2:
+            self._spill(self.l3, next_victim, events, level=3)
+        elif next_victim is not None:
+            events.append(MemoryEvent(next_victim, is_writeback=True))
+
+    def flush(self) -> List[MemoryEvent]:
+        """Drain all dirty lines to memory (end of simulation)."""
+        events: List[MemoryEvent] = []
+        for victim in self.l1.flush():
+            self._spill(self.l2, victim, events, level=2)
+        for victim in self.l2.flush():
+            self._spill(self.l3, victim, events, level=3)
+        events.extend(
+            MemoryEvent(address, is_writeback=True)
+            for address in self.l3.flush()
+        )
+        return events
+
+    def stats(self) -> dict:
+        return {"l1": self.l1.stats, "l2": self.l2.stats, "l3": self.l3.stats}

@@ -1,0 +1,113 @@
+"""Bit-level stream reader/writer used by the compression algorithms.
+
+All compressors in this package produce exact bit counts, because the
+paper's packing schemes (LinePack, LCP) bin compressed cache lines into
+byte-granular size classes derived from real encoded sizes.  The writer
+accumulates bits MSB-first into a growing integer; the reader walks the
+same representation back.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only MSB-first bit buffer."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._bits = 0
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``width`` bits holding ``value`` (must fit)."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._bits += width
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._bits
+
+    def to_bytes(self) -> bytes:
+        """Return the buffer padded with zero bits to a whole byte."""
+        nbytes = (self._bits + 7) // 8
+        pad = nbytes * 8 - self._bits
+        return (self._value << pad).to_bytes(nbytes, "big") if nbytes else b""
+
+    def to_bits(self) -> "Bits":
+        return Bits(self._value, self._bits)
+
+
+class Bits:
+    """Immutable bit string (value + length), convertible to bytes."""
+
+    __slots__ = ("value", "length")
+
+    def __init__(self, value: int, length: int) -> None:
+        self.value = value
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Bits)
+            and other.value == self.value
+            and other.length == self.length
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.length))
+
+    def __repr__(self) -> str:
+        return f"Bits(<{self.length} bits>)"
+
+
+class BitReader:
+    """MSB-first reader over a :class:`Bits` value."""
+
+    def __init__(self, bits: Bits) -> None:
+        self._value = bits.value
+        self._length = bits.length
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        """Consume and return ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if self._pos + width > self._length:
+            raise EOFError(
+                f"read past end of stream (pos={self._pos}, width={width}, "
+                f"length={self._length})"
+            )
+        shift = self._length - self._pos - width
+        self._pos += width
+        return (self._value >> shift) & ((1 << width) - 1)
+
+    @property
+    def remaining(self) -> int:
+        return self._length - self._pos
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret ``value`` (unsigned, ``width`` bits) as two's complement."""
+    sign_bit = 1 << (width - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_twos_complement(value: int, width: int) -> int:
+    """Encode a signed integer into ``width``-bit two's complement."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if value < lo or value > hi:
+        raise ValueError(f"value {value} out of range for {width}-bit field")
+    return value & ((1 << width) - 1)
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """True if ``value`` is representable in ``width``-bit two's complement."""
+    return -(1 << (width - 1)) <= value <= (1 << (width - 1)) - 1

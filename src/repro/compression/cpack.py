@@ -1,0 +1,119 @@
+"""C-Pack cache compression [Chen et al., 2010].
+
+C-Pack combines static pattern codes for zero-dominated words with a
+small dictionary of recently seen words, matching either the whole word
+or its upper bytes.  We use the canonical six codes and a 16-entry FIFO
+dictionary (64-byte line / 4-byte words).
+
+Codes (pattern ``z`` = zero byte, ``m`` = dictionary-match byte,
+``x`` = literal byte):
+
+====== ============ ==============================
+ code   pattern      encoded length
+====== ============ ==============================
+ 00     zzzz         2 bits
+ 01     xxxx         2 + 32 bits
+ 10     mmmm         2 + 4 (dict index)
+ 1100   mmxx         4 + 4 + 16
+ 1101   zzzx         4 + 8
+ 1110   mmmx         4 + 4 + 8
+====== ============ ==============================
+"""
+
+from __future__ import annotations
+
+from .base import CompressedLine, Compressor, bytes_of, words_of
+from .bitstream import BitReader, BitWriter
+
+_DICT_ENTRIES = 16
+_IDX_BITS = 4
+
+
+class CPackCompressor(Compressor):
+    """C-Pack with a 16-entry FIFO dictionary."""
+
+    name = "cpack"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        self._check_input(data)
+        writer = BitWriter()
+        dictionary: list = []
+        for word in words_of(data, 4):
+            self._encode_word(writer, word, dictionary)
+        bits = writer.to_bits()
+        return CompressedLine(self.name, bits.length, bits, self.line_size)
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        self._check_line(line)
+        reader = BitReader(line.payload)
+        dictionary: list = []
+        nwords = line.original_size // 4
+        words = []
+        for _ in range(nwords):
+            words.append(self._decode_word(reader, dictionary))
+        return bytes_of(words, 4)
+
+    def _encode_word(self, writer: BitWriter, word: int, dictionary: list) -> None:
+        if word == 0:
+            writer.write(0b00, 2)
+            return
+        if word <= 0xFF:  # zzzx
+            writer.write(0b1101, 4)
+            writer.write(word, 8)
+            return
+        for idx, entry in enumerate(dictionary):
+            if entry == word:  # mmmm
+                writer.write(0b10, 2)
+                writer.write(idx, _IDX_BITS)
+                return
+        for idx, entry in enumerate(dictionary):
+            if entry >> 8 == word >> 8:  # mmmx
+                writer.write(0b1110, 4)
+                writer.write(idx, _IDX_BITS)
+                writer.write(word & 0xFF, 8)
+                self._push(dictionary, word)
+                return
+        for idx, entry in enumerate(dictionary):
+            if entry >> 16 == word >> 16:  # mmxx
+                writer.write(0b1100, 4)
+                writer.write(idx, _IDX_BITS)
+                writer.write(word & 0xFFFF, 16)
+                self._push(dictionary, word)
+                return
+        writer.write(0b01, 2)  # xxxx
+        writer.write(word, 32)
+        self._push(dictionary, word)
+
+    def _decode_word(self, reader: BitReader, dictionary: list) -> int:
+        first = reader.read(2)
+        if first == 0b00:
+            return 0
+        if first == 0b01:
+            word = reader.read(32)
+            self._push(dictionary, word)
+            return word
+        if first == 0b10:
+            return dictionary[reader.read(_IDX_BITS)]
+        # first == 0b11: read 2 more code bits
+        sub = reader.read(2)
+        if sub == 0b01:  # 1101 zzzx
+            return reader.read(8)
+        if sub == 0b10:  # 1110 mmmx
+            idx = reader.read(_IDX_BITS)
+            low = reader.read(8)
+            word = (dictionary[idx] & ~0xFF) | low
+            self._push(dictionary, word)
+            return word
+        if sub == 0b00:  # 1100 mmxx
+            idx = reader.read(_IDX_BITS)
+            low = reader.read(16)
+            word = (dictionary[idx] & ~0xFFFF) | low
+            self._push(dictionary, word)
+            return word
+        raise ValueError(f"invalid C-Pack code 11{sub:02b}")
+
+    @staticmethod
+    def _push(dictionary: list, word: int) -> None:
+        dictionary.append(word)
+        if len(dictionary) > _DICT_ENTRIES:
+            dictionary.pop(0)

@@ -1,0 +1,116 @@
+"""Frequent Pattern Compression (FPC) [Alameldeen & Wood, 2004].
+
+FPC scans a line word by word (32-bit words) and replaces each word that
+matches one of seven frequent patterns with a 3-bit prefix plus a short
+payload.  Zero words additionally fold into runs of up to eight words.
+"""
+
+from __future__ import annotations
+
+from .base import CompressedLine, Compressor, bytes_of, words_of
+from .bitstream import BitReader, BitWriter, fits_signed, sign_extend, to_twos_complement
+
+_PREFIX_BITS = 3
+
+_ZERO_RUN = 0       # 3-bit run length (1..8 words, stored as len-1)
+_SE_4BIT = 1        # 4-bit sign-extended word
+_SE_8BIT = 2        # 8-bit sign-extended word
+_SE_16BIT = 3       # 16-bit sign-extended word
+_HALF_ZERO = 4      # upper halfword zero, lower halfword raw
+_TWO_HALF_SE8 = 5   # two halfwords, each 8-bit sign-extended
+_REP_BYTES = 6      # word made of one repeated byte
+_RAW = 7            # uncompressed 32-bit word
+
+
+class FPCCompressor(Compressor):
+    """Frequent Pattern Compression over 32-bit words with zero runs."""
+
+    name = "fpc"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        self._check_input(data)
+        words = words_of(data, 4)
+        writer = BitWriter()
+        i = 0
+        while i < len(words):
+            if words[i] == 0:
+                run = 1
+                while i + run < len(words) and words[i + run] == 0 and run < 8:
+                    run += 1
+                writer.write(_ZERO_RUN, _PREFIX_BITS)
+                writer.write(run - 1, 3)
+                i += run
+                continue
+            self._encode_word(writer, words[i])
+            i += 1
+        bits = writer.to_bits()
+        return CompressedLine(self.name, bits.length, bits, self.line_size)
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        self._check_line(line)
+        reader = BitReader(line.payload)
+        nwords = line.original_size // 4
+        words = []
+        while len(words) < nwords:
+            prefix = reader.read(_PREFIX_BITS)
+            if prefix == _ZERO_RUN:
+                run = reader.read(3) + 1
+                words.extend([0] * run)
+            elif prefix == _SE_4BIT:
+                words.append(sign_extend(reader.read(4), 4) & 0xFFFFFFFF)
+            elif prefix == _SE_8BIT:
+                words.append(sign_extend(reader.read(8), 8) & 0xFFFFFFFF)
+            elif prefix == _SE_16BIT:
+                words.append(sign_extend(reader.read(16), 16) & 0xFFFFFFFF)
+            elif prefix == _HALF_ZERO:
+                words.append(reader.read(16))
+            elif prefix == _TWO_HALF_SE8:
+                hi = sign_extend(reader.read(8), 8) & 0xFFFF
+                lo = sign_extend(reader.read(8), 8) & 0xFFFF
+                words.append((hi << 16) | lo)
+            elif prefix == _REP_BYTES:
+                byte = reader.read(8)
+                words.append(byte * 0x01010101)
+            else:
+                words.append(reader.read(32))
+        return bytes_of(words, 4)
+
+    @staticmethod
+    def _signed(word: int) -> int:
+        return sign_extend(word, 32)
+
+    def _encode_word(self, writer: BitWriter, word: int) -> None:
+        signed = self._signed(word)
+        if fits_signed(signed, 4):
+            writer.write(_SE_4BIT, _PREFIX_BITS)
+            writer.write(to_twos_complement(signed, 4), 4)
+        elif fits_signed(signed, 8):
+            writer.write(_SE_8BIT, _PREFIX_BITS)
+            writer.write(to_twos_complement(signed, 8), 8)
+        elif fits_signed(signed, 16):
+            writer.write(_SE_16BIT, _PREFIX_BITS)
+            writer.write(to_twos_complement(signed, 16), 16)
+        elif word >> 16 == 0:
+            writer.write(_HALF_ZERO, _PREFIX_BITS)
+            writer.write(word & 0xFFFF, 16)
+        elif self._two_half_se8(word):
+            writer.write(_TWO_HALF_SE8, _PREFIX_BITS)
+            writer.write(to_twos_complement(sign_extend(word >> 16, 16), 8), 8)
+            writer.write(to_twos_complement(sign_extend(word & 0xFFFF, 16), 8), 8)
+        elif self._repeated_byte(word):
+            writer.write(_REP_BYTES, _PREFIX_BITS)
+            writer.write(word & 0xFF, 8)
+        else:
+            writer.write(_RAW, _PREFIX_BITS)
+            writer.write(word, 32)
+
+    @staticmethod
+    def _two_half_se8(word: int) -> bool:
+        hi = sign_extend(word >> 16, 16)
+        lo = sign_extend(word & 0xFFFF, 16)
+        return fits_signed(hi, 8) and fits_signed(lo, 8)
+
+    @staticmethod
+    def _repeated_byte(word: int) -> bool:
+        byte = word & 0xFF
+        return word == byte * 0x01010101

@@ -1,0 +1,75 @@
+"""Byte-level LZSS compressor (the "LZ" of the paper's algorithm survey).
+
+The paper notes LZ reaches the highest compression ratio but at high
+energy cost (§II-A), which is why Compresso uses BPC instead.  We
+implement a small LZSS: a sliding window over the line itself, with
+1-bit literal/match flags, 6-bit offsets and 4-bit lengths — enough to
+reproduce LZ's relative standing among the algorithms.
+"""
+
+from __future__ import annotations
+
+from .base import CompressedLine, Compressor
+from .bitstream import BitReader, BitWriter
+
+_OFFSET_BITS = 6          # window of up to 64 bytes (the whole line)
+_LENGTH_BITS = 4
+_MIN_MATCH = 3            # matches shorter than this are cheaper as literals
+_MAX_MATCH = _MIN_MATCH + (1 << _LENGTH_BITS) - 1
+
+
+class LZCompressor(Compressor):
+    """LZSS over the bytes of a single cache line."""
+
+    name = "lz"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        self._check_input(data)
+        writer = BitWriter()
+        pos = 0
+        while pos < len(data):
+            offset, length = self._longest_match(data, pos)
+            if length >= _MIN_MATCH:
+                writer.write(1, 1)
+                writer.write(offset - 1, _OFFSET_BITS)
+                writer.write(length - _MIN_MATCH, _LENGTH_BITS)
+                pos += length
+            else:
+                writer.write(0, 1)
+                writer.write(data[pos], 8)
+                pos += 1
+        bits = writer.to_bits()
+        return CompressedLine(self.name, bits.length, bits, self.line_size)
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        self._check_line(line)
+        reader = BitReader(line.payload)
+        out = bytearray()
+        while len(out) < line.original_size:
+            if reader.read(1):
+                offset = reader.read(_OFFSET_BITS) + 1
+                length = reader.read(_LENGTH_BITS) + _MIN_MATCH
+                start = len(out) - offset
+                # Overlapping copies are legal in LZSS (run encoding).
+                for i in range(length):
+                    out.append(out[start + i])
+            else:
+                out.append(reader.read(8))
+        return bytes(out)
+
+    @staticmethod
+    def _longest_match(data: bytes, pos: int):
+        """Greedy longest match ending before ``pos`` within the window."""
+        best_offset, best_length = 0, 0
+        window_start = max(0, pos - (1 << _OFFSET_BITS))
+        limit = min(_MAX_MATCH, len(data) - pos)
+        for start in range(window_start, pos):
+            length = 0
+            while (
+                length < limit
+                and data[start + length] == data[pos + length]
+            ):
+                length += 1
+            if length > best_length:
+                best_offset, best_length = pos - start, length
+        return best_offset, best_length

@@ -1,0 +1,21 @@
+"""Compatibility shim: the MPA allocators live in :mod:`repro.memory.allocator`.
+
+They are re-exported here because the allocation scheme (incremental
+512-byte chunks vs. variable-sized regions) is one of the paper's §II-D
+design choices and callers naturally look for it next to the rest of
+the Compresso core.
+"""
+
+from ..memory.allocator import (
+    AllocatorStats,
+    ChunkAllocator,
+    OutOfMemoryError,
+    VariableAllocator,
+)
+
+__all__ = [
+    "AllocatorStats",
+    "ChunkAllocator",
+    "OutOfMemoryError",
+    "VariableAllocator",
+]

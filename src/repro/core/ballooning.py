@@ -1,0 +1,123 @@
+"""OS-transparent out-of-memory handling via ballooning (paper §V-B, Fig. 8).
+
+When poorly-compressing data exhausts machine memory, prior systems
+raise an exception to a compression-aware OS.  Compresso instead reuses
+the memory-ballooning facility every modern OS already ships for
+virtualization: a driver "inflates" by demanding pages from the OS
+(which pages out cold data to satisfy it), then tells the hardware the
+page numbers it got.  The controller marks those OSPA pages invalid —
+they need no MPA storage — relieving the pressure with zero OS changes.
+
+``BalloonDriver`` models that driver plus the slice of guest-OS paging
+behaviour it relies on: the OS hands over free pages first, then cold
+(least-recently-touched) pages, paying a page-out cost for dirty ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..memory.allocator import OutOfMemoryError
+
+
+@dataclass
+class BalloonStats:
+    inflations: int = 0
+    pages_reclaimed: int = 0
+    pages_paged_out: int = 0       # cold pages the guest had to swap out
+    deflations: int = 0
+
+
+class BalloonDriver:
+    """Compresso's balloon driver + the guest OS allocation behaviour.
+
+    Args:
+        controller: the compressed-memory controller to relieve.
+        os_pages: an object with ``take_free_page()`` returning a free
+            OSPA page number or ``None``, and ``take_cold_page()``
+            returning a (page, dirty) tuple or ``None`` — normally a
+            :class:`repro.osmodel.vm.VirtualMemory`.
+        safety_chunks: extra chunks to free beyond the immediate need,
+            so the balloon is not re-entered on every allocation.
+    """
+
+    def __init__(self, controller, os_pages, safety_chunks: int = 64) -> None:
+        self.controller = controller
+        self.os_pages = os_pages
+        self.safety_chunks = safety_chunks
+        self.stats = BalloonStats()
+        self._held_pages: List[int] = []
+        controller.balloon = self
+
+    def relieve(self, chunks_needed: int) -> None:
+        """Free at least ``chunks_needed`` chunks of machine memory."""
+        target = chunks_needed + self.safety_chunks
+        freed = 0
+        self.stats.inflations += 1
+        self.controller.stats.balloon_inflations += 1
+        while freed < target:
+            page = self.os_pages.take_free_page()
+            dirty = False
+            if page is None:
+                taken = self.os_pages.take_cold_page()
+                if taken is None:
+                    break
+                page, dirty = taken
+                if dirty:
+                    self.stats.pages_paged_out += 1
+            freed += self._reclaim(page)
+        if freed < chunks_needed:
+            raise OutOfMemoryError(
+                f"balloon could not free {chunks_needed} chunks "
+                f"(got {freed}); guest memory fully hot"
+            )
+
+    def deflate(self, pages: Optional[int] = None) -> List[int]:
+        """Return held pages to the guest OS when pressure eases."""
+        count = len(self._held_pages) if pages is None else pages
+        released, self._held_pages = (
+            self._held_pages[:count],
+            self._held_pages[count:],
+        )
+        if released:
+            self.stats.deflations += 1
+        return released
+
+    @property
+    def held_pages(self) -> int:
+        return len(self._held_pages)
+
+    def _reclaim(self, page: int) -> int:
+        """Invalidate one OSPA page in hardware; returns chunks freed."""
+        self._held_pages.append(page)
+        if page == getattr(self.controller, "_active_page", None):
+            # The controller is mid-operation on this very page (the
+            # balloon fired from inside its allocator); hold the page
+            # for the OS but leave the hardware state untouched.
+            return 0
+        state = self.controller.pages.get(page)
+        chunks = state.meta.size_chunks if state is not None else 0
+        self.controller.free_page(page)
+        self.stats.pages_reclaimed += 1
+        self.controller.stats.balloon_pages_reclaimed += 1
+        return chunks
+
+
+class FreeListOSModel:
+    """Minimal stand-in for the guest OS used in unit tests.
+
+    Real experiments use :class:`repro.osmodel.vm.VirtualMemory`; this
+    class serves the balloon from explicit lists.
+    """
+
+    def __init__(self, free_pages: List[int],
+                 cold_pages: Optional[List[tuple]] = None) -> None:
+        self._free = list(free_pages)
+        self._cold = list(cold_pages or [])
+
+    def take_free_page(self) -> Optional[int]:
+        return self._free.pop(0) if self._free else None
+
+    def take_cold_page(self) -> Optional[tuple]:
+        return self._cold.pop(0) if self._cold else None

@@ -1,0 +1,150 @@
+"""Linearly Compressed Pages (LCP) packing [Pekhimenko et al., MICRO 2013].
+
+LCP compresses every line in a page to the *same* target size, so the
+offset of line *i* is simply ``i * target`` — no adder needed, and a
+speculative DRAM access can launch in parallel with the metadata fetch.
+Lines that do not fit the target are *exceptions*, stored raw in an
+exception region and found through explicit pointers in metadata.
+
+Crucially, LCP sizes pages by *physical size class*: a compressed page
+occupies one of 512 B / 1 KB / 2 KB / 4 KB, and the target is derived
+from the class **after reserving exception room inside it** (the
+original design carves the exception storage out of the physical
+page).  Deriving targets this way is what keeps a fresh LCP page from
+sitting exactly on its class boundary, where the first exception would
+force a whole-page relocation.
+
+Two target granularities model the paper's two baselines (§VI-F):
+
+* ``aligned=False`` (plain LCP): byte-granular targets — maximum
+  compression, but slots of 22/44-like sizes straddle 64-byte DRAM
+  boundaries (the §IV-A2 split-access problem);
+* ``aligned=True`` (LCP+Align): targets restricted to 0/8/16/32/64 —
+  slot offsets never cross a 64-byte boundary, at some compression
+  cost.
+
+The cost against LinePack is packing flexibility: one target must suit
+all 64 lines, so LCP trails LinePack by ~13% compression with the
+aggressive BPC compressor while staying close for BDI (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .packing import PackingScheme, PageLayout
+
+#: Physical size classes of compressed LCP pages (§II-D variable chunks).
+DEFAULT_SIZE_CLASSES: Tuple[int, ...] = (512, 1024, 2048, 4096)
+
+#: Exception slots reserved inside each class at pack time.
+RESERVED_EXCEPTION_SLOTS = 2
+
+#: Targets whose slot offsets never straddle a 64-byte boundary.
+ALIGNED_TARGETS: Tuple[int, ...] = (0, 8, 16, 32, 64)
+
+
+def derive_targets(size_classes: Sequence[int] = DEFAULT_SIZE_CLASSES,
+                   aligned: bool = False, line_size: int = 64,
+                   lines_per_page: int = 64,
+                   reserved_slots: int = RESERVED_EXCEPTION_SLOTS
+                   ) -> Tuple[int, ...]:
+    """Per-class target line sizes, with exception room reserved.
+
+    For class ``c``: the largest target ``t`` with
+    ``lines * t + reserved_slots * line_size <= c`` — rounded down to an
+    alignment-friendly value when ``aligned``.  The raw line size is
+    always included (uncompressed pages).
+    """
+    targets = {0, line_size}
+    for size_class in size_classes:
+        budget = size_class - reserved_slots * line_size
+        target = max(0, budget // lines_per_page)
+        if aligned:
+            target = max(t for t in ALIGNED_TARGETS if t <= target)
+        targets.add(min(target, line_size))
+    return tuple(sorted(targets))
+
+
+class LCPPack(PackingScheme):
+    """LCP packing with class-derived targets and an exception region."""
+
+    name = "lcp"
+
+    def __init__(self, line_bins: Sequence[int] = None, line_size: int = 64,
+                 max_exceptions: int = 17,
+                 size_classes: Sequence[int] = DEFAULT_SIZE_CLASSES,
+                 aligned: bool = False) -> None:
+        self.size_classes = tuple(size_classes)
+        self.aligned = aligned
+        if line_bins is None:
+            line_bins = derive_targets(size_classes, aligned, line_size)
+        else:
+            # Caller-supplied bins (e.g. the §VI-F configs name the
+            # classic 0/22/44/64 or 0/8/32/64 sets): interpret them as
+            # the allowed targets, still packing with reserved headroom.
+            line_bins = tuple(sorted(set(line_bins) | {0, line_size}))
+        super().__init__(line_bins, line_size, max_exceptions)
+
+    def pack_candidates(self, line_sizes: Sequence[int]) -> List[PageLayout]:
+        """One layout per feasible (class, target) pair.
+
+        A candidate is feasible when its slots, current exceptions and
+        the reserved exception headroom all fit the class.
+        """
+        lines = len(line_sizes)
+        raw_bin = len(self.line_bins) - 1
+        candidates = [self.layout_from_bins([raw_bin] * lines, ())]
+        seen = set()
+        for size_class in self.size_classes:
+            target_bin = self._target_bin_for_class(size_class, lines)
+            if target_bin is None or target_bin in seen:
+                continue
+            target = self.bin_bytes(target_bin)
+            exceptions = tuple(
+                line for line, size in enumerate(line_sizes) if size > target
+            )
+            if len(exceptions) > self.max_exceptions:
+                continue
+            # The reserved slots exist *for* exceptions: headroom must
+            # cover the larger of (current exceptions, the reserve).
+            headroom = max(len(exceptions), RESERVED_EXCEPTION_SLOTS)
+            if lines * target + headroom * self.line_size > size_class:
+                continue
+            seen.add(target_bin)
+            candidates.append(
+                self.layout_from_bins([target_bin] * lines, exceptions)
+            )
+        return candidates
+
+    def _target_bin_for_class(self, size_class: int, lines: int):
+        """Largest compressed target bin whose slots + reserve fit the class."""
+        budget = size_class - RESERVED_EXCEPTION_SLOTS * self.line_size
+        best = None
+        for index, target in enumerate(self.line_bins[:-1]):
+            if target * lines <= budget:
+                best = index
+        return best
+
+    def pack(self, line_sizes: Sequence[int]) -> PageLayout:
+        """Choose the candidate minimizing total storage."""
+        return min(self.pack_candidates(line_sizes),
+                   key=lambda layout: layout.total_bytes)
+
+    def layout_from_bins(self, slot_bins: Sequence[int],
+                         inflated_lines: Sequence[int]) -> PageLayout:
+        if len(set(slot_bins)) > 1:
+            raise ValueError("LCP requires a single target bin for all lines")
+        target = self.bin_bytes(slot_bins[0]) if slot_bins else 0
+        offsets = tuple(i * target for i in range(len(slot_bins)))
+        sizes = tuple(target for _ in slot_bins)
+        return PageLayout(
+            slot_offsets=offsets,
+            slot_sizes=sizes,
+            data_bytes=target * len(slot_bins),
+            inflated_lines=tuple(inflated_lines),
+        )
+
+    @property
+    def offset_calc_cycles(self) -> int:
+        return 0  # offset is a multiply by the target

@@ -1,0 +1,116 @@
+"""Page-overflow prediction (paper §IV-B2, Fig. 5b).
+
+Streaming incompressible data over a previously compressible page (the
+classic zero-initialized-then-filled buffer) causes a cascade of line
+overflows and repeated page overflows as the page climbs through the
+size bins one by one.  Compresso predicts this and jumps the page
+straight to uncompressed (4 KB):
+
+* a **local** 2-bit saturating counter per metadata-cache entry,
+  incremented on a line overflow in that page and decremented on a line
+  underflow;
+* a **global** 3-bit saturating counter tracking whether the system as
+  a whole is experiencing page overflows.
+
+The prediction fires only when both counters have their high bit set.
+False negatives lose data-movement savings; false positives squander
+compression (later restored by repacking, §IV-B4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SaturatingCounter:
+    """An n-bit saturating counter."""
+
+    bits: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError("counter needs at least one bit")
+        if not 0 <= self.value <= self.max_value:
+            raise ValueError(f"initial value {self.value} out of range")
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def high_bit_set(self) -> bool:
+        return bool(self.value >> (self.bits - 1))
+
+    def increment(self) -> None:
+        if self.value < self.max_value:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+
+class PageOverflowPredictor:
+    """Combined local + global page-overflow predictor.
+
+    Local counters live in the metadata cache (they are created on
+    fill and dropped on eviction, like the hardware's per-entry bits);
+    the cache calls :meth:`drop_page` on eviction.
+    """
+
+    LOCAL_BITS = 2
+    GLOBAL_BITS = 3
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._global = SaturatingCounter(self.GLOBAL_BITS)
+        self._local: dict = {}
+
+    # -- event hooks -------------------------------------------------------
+
+    def on_line_overflow(self, page: int) -> None:
+        self._local_counter(page).increment()
+
+    def on_line_underflow(self, page: int) -> None:
+        self._local_counter(page).decrement()
+
+    def on_page_overflow(self) -> None:
+        self._global.increment()
+
+    def on_page_shrink(self) -> None:
+        """Repacking freed space — system pressure is easing."""
+        self._global.decrement()
+
+    def drop_page(self, page: int) -> None:
+        """Metadata entry evicted; its local counter bits are gone."""
+        self._local.pop(page, None)
+
+    # -- prediction --------------------------------------------------------
+
+    def should_inflate(self, page: int) -> bool:
+        """Speculatively grow the page to 4 KB uncompressed? (§IV-B2)"""
+        if not self.enabled:
+            return False
+        local = self._local.get(page)
+        return (
+            local is not None
+            and local.high_bit_set
+            and self._global.high_bit_set
+        )
+
+    def local_value(self, page: int) -> int:
+        counter = self._local.get(page)
+        return counter.value if counter else 0
+
+    @property
+    def global_value(self) -> int:
+        return self._global.value
+
+    def _local_counter(self, page: int) -> SaturatingCounter:
+        counter = self._local.get(page)
+        if counter is None:
+            counter = SaturatingCounter(self.LOCAL_BITS)
+            self._local[page] = counter
+        return counter

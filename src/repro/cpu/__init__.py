@@ -1,0 +1,5 @@
+"""CPU core timing substrate."""
+
+from .core import AnalyticCore, CoreConfig, CoreStats
+
+__all__ = ["AnalyticCore", "CoreConfig", "CoreStats"]

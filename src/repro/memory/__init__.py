@@ -1,0 +1,23 @@
+"""Main-memory substrate: DDR4 timing model and capacity accounting."""
+
+from .allocator import AllocatorStats, ChunkAllocator, VariableAllocator
+from .dram import DDR4Channel, DRAMStats, DRAMSystem, DRAMTimings
+from .physical import MemoryGeometry, OutOfMemoryError, PhysicalMemory
+from .request import AccessCategory, AccessKind, AccessResult, MemAccess
+
+__all__ = [
+    "AccessCategory",
+    "AllocatorStats",
+    "ChunkAllocator",
+    "VariableAllocator",
+    "AccessKind",
+    "AccessResult",
+    "DDR4Channel",
+    "DRAMStats",
+    "DRAMSystem",
+    "DRAMTimings",
+    "MemAccess",
+    "MemoryGeometry",
+    "OutOfMemoryError",
+    "PhysicalMemory",
+]

@@ -1,0 +1,196 @@
+"""Machine-physical-address (MPA) space allocators (paper §II-D, Fig. 1b).
+
+Two schemes are compared in the paper:
+
+* **Incremental fixed-size chunks** (Compresso's choice): a page is a
+  set of up to eight 512-byte chunks, allocated one at a time.  Trivial
+  free-list management, zero external fragmentation, but needs all 8
+  MPFN pointers in metadata.
+* **Variable-sized chunks**: a page is one contiguous region of
+  512 B / 1 KB / 2 KB / 4 KB.  Fewer pointers, but resizing means a
+  full relocation and the free space fragments.
+
+Both allocators work in 512-byte chunk units over the same machine
+memory and expose identical interfaces so the controller can use either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class OutOfMemoryError(Exception):
+    """Machine memory exhausted — the §V-B ballooning path must kick in."""
+
+
+@dataclass
+class AllocatorStats:
+    """Occupancy snapshot for capacity accounting."""
+
+    total_chunks: int
+    used_chunks: int
+    fragmented_chunks: int = 0
+
+    @property
+    def free_chunks(self) -> int:
+        return self.total_chunks - self.used_chunks
+
+    @property
+    def utilization(self) -> float:
+        return self.used_chunks / self.total_chunks if self.total_chunks else 0.0
+
+
+class ChunkAllocator:
+    """Free-list allocator over fixed 512-byte chunks (Compresso)."""
+
+    def __init__(self, memory_bytes: int, chunk_size: int = 512) -> None:
+        if memory_bytes % chunk_size:
+            raise ValueError("memory size must be a multiple of the chunk size")
+        self.chunk_size = chunk_size
+        self.total_chunks = memory_bytes // chunk_size
+        # LIFO free list: reuse recently freed chunks for locality.
+        self._free: List[int] = list(range(self.total_chunks - 1, -1, -1))
+        self._allocated: set = set()
+
+    def allocate(self, count: int = 1) -> List[int]:
+        """Take ``count`` chunks (not necessarily contiguous)."""
+        if count < 0:
+            raise ValueError("cannot allocate a negative chunk count")
+        if count > len(self._free):
+            raise OutOfMemoryError(
+                f"need {count} chunks, only {len(self._free)} free"
+            )
+        chunks = [self._free.pop() for _ in range(count)]
+        self._allocated.update(chunks)
+        return chunks
+
+    def free(self, chunks) -> None:
+        """Return chunks to the free list."""
+        for chunk in chunks:
+            if chunk not in self._allocated:
+                raise ValueError(f"double free of chunk {chunk}")
+            self._allocated.remove(chunk)
+            self._free.append(chunk)
+
+    @property
+    def free_chunks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_chunks(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_chunks * self.chunk_size
+
+    def stats(self) -> AllocatorStats:
+        return AllocatorStats(self.total_chunks, self.used_chunks)
+
+    def chunk_base_address(self, chunk: int) -> int:
+        """MPA byte address of a chunk (used for DRAM bank mapping)."""
+        return chunk * self.chunk_size
+
+
+class VariableAllocator:
+    """Contiguous variable-sized region allocator (the §II-D alternative).
+
+    Implemented as a binary buddy allocator over 512 B..4 KB blocks,
+    which is the sophistication the paper says this scheme demands.
+    External fragmentation shows up as free chunks that cannot satisfy a
+    large contiguous request.
+    """
+
+    def __init__(self, memory_bytes: int, chunk_size: int = 512,
+                 max_block: int = 4096) -> None:
+        if memory_bytes % max_block:
+            raise ValueError("memory size must be a multiple of the max block")
+        self.chunk_size = chunk_size
+        self.max_block = max_block
+        self.total_chunks = memory_bytes // chunk_size
+        self._orders = (max_block // chunk_size).bit_length() - 1  # e.g. 3
+        # free lists per order: order o holds blocks of chunk_size << o.
+        self._free_lists: List[List[int]] = [[] for _ in range(self._orders + 1)]
+        self._free_lists[self._orders] = list(
+            range(0, self.total_chunks, max_block // chunk_size)
+        )
+        self._allocated: Dict[int, int] = {}  # base chunk -> order
+
+    def _order_for(self, size_bytes: int) -> int:
+        if size_bytes <= 0 or size_bytes > self.max_block:
+            raise ValueError(f"unsupported region size {size_bytes}")
+        order = 0
+        while (self.chunk_size << order) < size_bytes:
+            order += 1
+        return order
+
+    def allocate_region(self, size_bytes: int) -> int:
+        """Allocate one contiguous region, returning its base chunk id."""
+        order = self._order_for(size_bytes)
+        chosen = None
+        for o in range(order, self._orders + 1):
+            if self._free_lists[o]:
+                chosen = o
+                break
+        if chosen is None:
+            raise OutOfMemoryError(
+                f"no contiguous region of {size_bytes} B available "
+                f"({self.free_chunks * self.chunk_size} B free but fragmented)"
+            )
+        base = self._free_lists[chosen].pop()
+        # Split down to the requested order, buddy-style.
+        while chosen > order:
+            chosen -= 1
+            buddy = base + (1 << chosen)
+            self._free_lists[chosen].append(buddy)
+        self._allocated[base] = order
+        return base
+
+    def free_region(self, base: int) -> None:
+        """Free a region and coalesce with free buddies."""
+        if base not in self._allocated:
+            raise ValueError(f"double free of region at chunk {base}")
+        order = self._allocated.pop(base)
+        while order < self._orders:
+            buddy = base ^ (1 << order)
+            if buddy not in self._free_lists[order]:
+                break
+            self._free_lists[order].remove(buddy)
+            base = min(base, buddy)
+            order += 1
+        self._free_lists[order].append(base)
+
+    def region_size_bytes(self, base: int) -> int:
+        return self.chunk_size << self._allocated[base]
+
+    @property
+    def free_chunks(self) -> int:
+        return sum(
+            len(blocks) << order
+            for order, blocks in enumerate(self._free_lists)
+        )
+
+    @property
+    def used_chunks(self) -> int:
+        return self.total_chunks - self.free_chunks
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_chunks * self.chunk_size
+
+    def largest_free_region(self) -> int:
+        for order in range(self._orders, -1, -1):
+            if self._free_lists[order]:
+                return self.chunk_size << order
+        return 0
+
+    def stats(self) -> AllocatorStats:
+        # Fragmented = free space that cannot serve a max-size request.
+        frag = 0
+        if not self._free_lists[self._orders]:
+            frag = self.free_chunks
+        return AllocatorStats(self.total_chunks, self.used_chunks, frag)
+
+    def chunk_base_address(self, chunk: int) -> int:
+        return chunk * self.chunk_size

@@ -1,0 +1,23 @@
+"""OS substrate: virtual memory, cgroups-style budgets, LRU paging."""
+
+from .cgroups import DynamicBudget, StaticBudget
+from .paging import (
+    LRUPagingSimulator,
+    PagingCostModel,
+    PagingStats,
+    reference_string,
+    run_capacity_simulation,
+)
+from .vm import VirtualMemory, VMStats
+
+__all__ = [
+    "DynamicBudget",
+    "LRUPagingSimulator",
+    "PagingCostModel",
+    "PagingStats",
+    "StaticBudget",
+    "VMStats",
+    "VirtualMemory",
+    "reference_string",
+    "run_capacity_simulation",
+]

@@ -1,0 +1,62 @@
+"""Simulation drivers: cycle-based, 4-core, capacity impact, overall."""
+
+from .capacity import (
+    CapacityConfig,
+    CapacityResult,
+    capacity_impact,
+    multicore_capacity_impact,
+)
+from .compresspoints import (
+    IntervalProfile,
+    PointSelection,
+    kmeans,
+    profile_intervals,
+    representativeness_error,
+    select_points,
+)
+from .configs import (
+    OS_PAGE_FAULT_PENALTY_CYCLES,
+    SYSTEM_ORDER,
+    chunk_vs_variable_configs,
+    optimization_ladder,
+    system_config,
+)
+from .full_hierarchy import FullHierarchyResult, simulate_full_hierarchy
+from .multicore import MulticoreResult, simulate_multicore
+from .overall import OverallResult, combine
+from .simulator import (
+    SimulationConfig,
+    SimulationResult,
+    UncompressedController,
+    run_benchmark_systems,
+    simulate,
+)
+
+__all__ = [
+    "CapacityConfig",
+    "CapacityResult",
+    "FullHierarchyResult",
+    "IntervalProfile",
+    "MulticoreResult",
+    "OS_PAGE_FAULT_PENALTY_CYCLES",
+    "OverallResult",
+    "PointSelection",
+    "SYSTEM_ORDER",
+    "SimulationConfig",
+    "SimulationResult",
+    "UncompressedController",
+    "capacity_impact",
+    "chunk_vs_variable_configs",
+    "combine",
+    "kmeans",
+    "multicore_capacity_impact",
+    "optimization_ladder",
+    "profile_intervals",
+    "representativeness_error",
+    "run_benchmark_systems",
+    "select_points",
+    "simulate",
+    "simulate_full_hierarchy",
+    "simulate_multicore",
+    "system_config",
+]

@@ -1,0 +1,161 @@
+"""Full-hierarchy simulation mode: core loads/stores through L1/L2/L3.
+
+The main experiments drive the memory controller with LLC-level traces
+(the standard shortcut for memory-system studies, §VI).  This mode
+instead synthesizes a *core-level* load/store stream and filters it
+through the Tab. III cache hierarchy, so the LLC miss/writeback stream
+the controller sees — including its dirty-victim timing — emerges from
+real cache behaviour rather than from trace parameters.
+
+Use it to sanity-check the trace-driven results or to study how cache
+geometry interacts with compression (e.g. a larger LLC absorbs
+writebacks and shrinks the controller's overflow traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .._util import stable_seed
+from ..cache.hierarchy import CacheHierarchy, HierarchyConfig
+from ..core.config import CompressoConfig
+from ..cpu.core import AnalyticCore, CoreConfig
+from ..memory.dram import DRAMStats, DRAMSystem, DRAMTimings
+from ..workloads.datagen import LINES_PER_PAGE, LineClass
+from ..workloads.profiles import BenchmarkProfile
+from ..workloads.tracegen import Workload
+from .simulator import SimulationConfig, UncompressedController, _build_controller, _issue
+
+
+@dataclass
+class FullHierarchyResult:
+    """Outcome of one full-hierarchy run."""
+
+    benchmark: str
+    system: str
+    cycles: int
+    instructions: int
+    core_accesses: int
+    llc_fills: int
+    llc_writebacks: int
+    cache_stats: Dict[str, object]
+    controller_stats: object
+    dram_stats: DRAMStats
+    final_ratio: float = 1.0
+
+    @property
+    def llc_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.llc_fills / self.instructions
+
+    def speedup_over(self, baseline: "FullHierarchyResult") -> float:
+        if baseline.instructions != self.instructions:
+            raise ValueError("speedup requires runs over the same stream")
+        return baseline.cycles / self.cycles
+
+
+def _core_stream(profile: BenchmarkProfile, workload: Workload,
+                 n_accesses: int, seed: int):
+    """Synthesize a core-level load/store address stream.
+
+    Uses the profile's locality parameters at *access* granularity: the
+    cache hierarchy, not the trace generator, decides what reaches
+    memory.  Yields (address, is_write, gap_instructions).
+    """
+    rng = np.random.RandomState(stable_seed(profile.name, "corestream", seed))
+    pages = workload.pages
+    hot_pages = max(1, int(pages * profile.hot_fraction))
+    # Core-level accesses are far denser than LLC misses; approximate
+    # one memory instruction every ~3 instructions.
+    page = int(rng.randint(0, pages))
+    offset = 0
+    for _ in range(n_accesses):
+        if rng.rand() < profile.sequential:
+            offset += 8  # pointer-sized stride within the line/page
+            if offset >= 4096:
+                offset = 0
+                page = (page + 1) % pages
+        else:
+            if rng.rand() < profile.hot_weight:
+                page = int(hot_pages * (rng.rand() ** profile.skew))
+            else:
+                page = int(rng.randint(0, pages))
+            offset = int(rng.randint(0, 4096 // 8)) * 8
+        address = page * 4096 + offset
+        is_write = bool(rng.rand() < profile.write_fraction)
+        yield address, is_write, int(rng.geometric(0.3))
+
+
+def simulate_full_hierarchy(profile: BenchmarkProfile, system: str,
+                            sim: SimulationConfig = SimulationConfig(),
+                            hierarchy_config: Optional[HierarchyConfig] = None,
+                            config: Optional[CompressoConfig] = None
+                            ) -> FullHierarchyResult:
+    """Run a core-level stream through caches into a memory system.
+
+    ``sim.n_events`` counts *core accesses* here; the LLC filters them
+    down to a (much smaller) memory stream.
+    """
+    workload = Workload(profile, scale=sim.scale, seed=sim.seed)
+    controller = _build_controller(system, workload.pages, sim, config)
+    if sim.warm_install:
+        for page in range(workload.pages):
+            controller.install_page(page, workload.page_lines(page))
+
+    hierarchy = CacheHierarchy(hierarchy_config or HierarchyConfig())
+    core = AnalyticCore(CoreConfig(), mlp=profile.mlp, cpi=profile.base_cpi)
+    dram = DRAMSystem(n_channels=sim.dram_channels, timings=DRAMTimings())
+    phase_rng = np.random.RandomState(sim.seed + 11)
+
+    fills = writebacks = 0
+    for index, (address, is_write, gap) in enumerate(
+        _core_stream(profile, workload, sim.n_events, sim.seed)
+    ):
+        core.advance_instructions(gap)
+        events = hierarchy.access(address, is_write)
+        for event in events:
+            page, line = divmod(event.address // 64, LINES_PER_PAGE)
+            page %= workload.pages
+            if event.is_writeback:
+                writebacks += 1
+                override = (LineClass.RANDOM
+                            if phase_rng.rand() < profile.churn else None)
+                data = workload.apply_writeback(page, line, override)
+                result = controller.write_line(page, line, data)
+                _issue(dram, core.now, result, stall_core=None)
+            else:
+                fills += 1
+                result = controller.read_line(page, line)
+                latency = _issue(dram, core.now, result, stall_core=core,
+                                 serial_overlap=sim.serial_overlap)
+                core.stall(latency + result.controller_cycles)
+
+    # Drain dirty lines so the controller sees the full writeback load.
+    for event in hierarchy.flush():
+        page, line = divmod(event.address // 64, LINES_PER_PAGE)
+        page %= workload.pages
+        data = workload.apply_writeback(page, line, None)
+        result = controller.write_line(page, line, data)
+        _issue(dram, core.now, result, stall_core=None)
+        writebacks += 1
+    controller.flush_metadata()
+
+    uncompressed = isinstance(controller, UncompressedController)
+    return FullHierarchyResult(
+        benchmark=profile.name,
+        system=system,
+        cycles=max(1, core.now),
+        instructions=core.stats.instructions,
+        core_accesses=sim.n_events,
+        llc_fills=fills,
+        llc_writebacks=writebacks,
+        cache_stats=hierarchy.stats(),
+        controller_stats=controller.stats,
+        dram_stats=dram.stats,
+        final_ratio=(1.0 if uncompressed
+                     else max(1.0, controller.compression_ratio())),
+    )

@@ -1,0 +1,54 @@
+"""Overall performance: cycle-based x capacity impact (paper §VI-F).
+
+The paper multiplies the two speedups, arguing they are mutually
+independent: compression's latency/bandwidth effects act on compute
+time, and its capacity effect acts on paging time.  The unconstrained
+system bounds the possible gain from capacity alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .capacity import CapacityResult
+from .simulator import SimulationResult
+
+
+@dataclass
+class OverallResult:
+    """Fig. 10b / 11b row for one benchmark (or mix)."""
+
+    benchmark: str
+    cycle_speedup: Dict[str, float]     # vs uncompressed, same trace
+    capacity_speedup: Dict[str, float]  # vs uncompressed constrained
+
+    def overall(self, system: str) -> float:
+        """Relative overall speedup vs. the constrained baseline."""
+        return self.cycle_speedup[system] * self.capacity_speedup[system]
+
+    @property
+    def unconstrained_bound(self) -> float:
+        return self.capacity_speedup["unconstrained"]
+
+
+def combine(cycle_results: Dict[str, SimulationResult],
+            capacity_result: CapacityResult) -> OverallResult:
+    """Build the overall-performance row from the two evaluations."""
+    baseline = cycle_results["uncompressed"]
+    cycle_speedup = {
+        system: result.speedup_over(baseline)
+        for system, result in cycle_results.items()
+        if system != "uncompressed"
+    }
+    cycle_speedup["unconstrained"] = 1.0  # uncompressed, just more memory
+    capacity_speedup = {
+        system: capacity_result.relative(system)
+        for system in capacity_result.runtimes
+        if system != "constrained"
+    }
+    return OverallResult(
+        benchmark=capacity_result.benchmark,
+        cycle_speedup=cycle_speedup,
+        capacity_speedup=capacity_speedup,
+    )

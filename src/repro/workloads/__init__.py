@@ -1,0 +1,41 @@
+"""Synthetic workload substitution for the paper's benchmark suite."""
+
+from .datagen import (
+    LINE_SIZE,
+    LINES_PER_PAGE,
+    LineClass,
+    LinePool,
+    PageImageGenerator,
+    make_line,
+)
+from .mixes import MIX_ORDER, MIXES, mix_profiles
+from .profiles import (
+    BENCHMARK_ORDER,
+    CAPACITY_STALLERS,
+    PROFILES,
+    BenchmarkProfile,
+    Phase,
+    get_profile,
+)
+from .tracegen import TraceEvent, TraceGenerator, Workload
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "BenchmarkProfile",
+    "CAPACITY_STALLERS",
+    "LINES_PER_PAGE",
+    "LINE_SIZE",
+    "LineClass",
+    "LinePool",
+    "MIXES",
+    "MIX_ORDER",
+    "PROFILES",
+    "PageImageGenerator",
+    "Phase",
+    "TraceEvent",
+    "TraceGenerator",
+    "Workload",
+    "get_profile",
+    "make_line",
+    "mix_profiles",
+]

@@ -1,0 +1,40 @@
+"""Multi-core workload mixes (paper Tab. IV).
+
+The paper groups benchmarks by single-core speedup, metadata-cache hit
+rate, and memory sensitivity, then builds ten 4-benchmark mixes with
+equal representation from each group; Mix10 is the compression-overhead
+worst case (three metadata-cache thrashers plus cactusADM).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .profiles import PROFILES, BenchmarkProfile
+
+#: Tab. IV verbatim.
+MIXES: Dict[str, Tuple[str, str, str, str]] = {
+    "mix1": ("mcf", "GemsFDTD", "libquantum", "soplex"),
+    "mix2": ("milc", "astar", "gamess", "tonto"),
+    "mix3": ("Forestfire", "lbm", "leslie3d", "hmmer"),
+    "mix4": ("sjeng", "omnetpp", "gcc", "namd"),
+    "mix5": ("xalancbmk", "cactusADM", "calculix", "sphinx3"),
+    "mix6": ("perlbench", "bzip2", "gromacs", "gobmk"),
+    "mix7": ("bwaves", "povray", "h264ref", "Pagerank"),
+    "mix8": ("mcf", "bwaves", "Graph500", "perlbench"),
+    "mix9": ("Forestfire", "povray", "gamess", "hmmer"),
+    "mix10": ("Forestfire", "Pagerank", "Graph500", "cactusADM"),
+}
+
+MIX_ORDER = tuple(MIXES)
+
+
+def mix_profiles(mix_name: str) -> List[BenchmarkProfile]:
+    """The four profiles of a mix, in order."""
+    try:
+        names = MIXES[mix_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {mix_name!r}; known: {sorted(MIXES)}"
+        ) from None
+    return [PROFILES[name] for name in names]

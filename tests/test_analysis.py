@@ -1,0 +1,64 @@
+"""Tests for the experiment harness and rendering."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentScale,
+    arithmetic_mean,
+    geometric_mean,
+    render,
+    run_fig2,
+    run_sec7_energy_area,
+)
+from repro.analysis.report import ExperimentResult
+
+TINY = ExperimentScale(n_events=400, scale=0.02, capacity_touches=2000,
+                       capacity_footprint_cap=60, fig2_pages=10,
+                       benchmarks=("gcc", "mcf"), mixes=("mix2",))
+
+
+class TestReport:
+    def test_render_basic(self):
+        result = ExperimentResult(
+            experiment_id="x", title="demo", columns=["name", "value"])
+        result.add_row(name="a", value=1.5)
+        result.summary["mean"] = 1.5
+        result.paper_values["expected"] = "about 1.5"
+        text = render(result)
+        assert "demo" in text
+        assert "1.500" in text
+        assert "about 1.5" in text
+
+    def test_column_values_skips_non_numeric(self):
+        result = ExperimentResult("x", "t", ["name", "v"])
+        result.add_row(name="a", v=2.0)
+        result.add_row(name="b", v="n/a")
+        assert result.column_values("v") == [2.0]
+
+    def test_means(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert arithmetic_mean([1.0, 3.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert arithmetic_mean([]) == 0.0
+
+
+class TestRunners:
+    def test_fig2_structure(self):
+        result = run_fig2(TINY)
+        assert result.experiment_id == "fig2"
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["bpc+linepack"] >= 1.0
+            # LinePack never loses to LCP packing on the same data.
+            assert row["bpc+linepack"] >= row["bpc+lcp"] - 0.05
+
+    def test_sec7_values(self):
+        result = run_sec7_energy_area()
+        values = {row["quantity"]: row["value"] for row in result.rows}
+        assert values["adder_visible_cycles"] == 1.0
+        assert values["bpc_area_um2"] == 43000.0
+
+    def test_scale_presets_distinct(self):
+        from repro.analysis import DEFAULT, FULL, QUICK
+        assert QUICK.n_events < DEFAULT.n_events < FULL.n_events
+        assert len(QUICK.benchmarks) < len(DEFAULT.benchmarks)

@@ -1,0 +1,135 @@
+"""Unit and property tests for the bit-stream primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.bitstream import (
+    BitReader,
+    Bits,
+    BitWriter,
+    fits_signed,
+    sign_extend,
+    to_twos_complement,
+)
+
+
+class TestBitWriter:
+    def test_empty_writer(self):
+        writer = BitWriter()
+        assert writer.bit_length == 0
+        assert writer.to_bytes() == b""
+
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1):
+            writer.write(bit, 1)
+        assert writer.bit_length == 4
+        assert writer.to_bytes() == bytes([0b1011_0000])
+
+    def test_value_must_fit_width(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+    def test_negative_value_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(-1, 4)
+
+    def test_negative_width_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(0, -1)
+
+    def test_zero_width_write_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    def test_byte_padding(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        assert writer.to_bytes() == bytes([0b1010_0000])
+
+
+class TestBitReader:
+    def test_roundtrip_simple(self):
+        writer = BitWriter()
+        writer.write(0b1101, 4)
+        writer.write(0xAB, 8)
+        reader = BitReader(writer.to_bits())
+        assert reader.read(4) == 0b1101
+        assert reader.read(8) == 0xAB
+        assert reader.remaining == 0
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(Bits(0b1, 1))
+        reader.read(1)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_remaining(self):
+        reader = BitReader(Bits(0xFF, 8))
+        reader.read(3)
+        assert reader.remaining == 5
+
+
+class TestBits:
+    def test_equality_and_hash(self):
+        assert Bits(5, 4) == Bits(5, 4)
+        assert Bits(5, 4) != Bits(5, 5)
+        assert hash(Bits(5, 4)) == hash(Bits(5, 4))
+
+    def test_len(self):
+        assert len(Bits(0, 17)) == 17
+
+
+class TestSignHelpers:
+    @pytest.mark.parametrize("value,width,expected", [
+        (0b1111, 4, -1),
+        (0b0111, 4, 7),
+        (0b1000, 4, -8),
+        (0, 8, 0),
+        (255, 8, -1),
+    ])
+    def test_sign_extend(self, value, width, expected):
+        assert sign_extend(value, width) == expected
+
+    def test_twos_complement_roundtrip(self):
+        for value in range(-8, 8):
+            assert sign_extend(to_twos_complement(value, 4), 4) == value
+
+    def test_twos_complement_range_check(self):
+        with pytest.raises(ValueError):
+            to_twos_complement(8, 4)
+        with pytest.raises(ValueError):
+            to_twos_complement(-9, 4)
+
+    def test_fits_signed(self):
+        assert fits_signed(7, 4)
+        assert fits_signed(-8, 4)
+        assert not fits_signed(8, 4)
+        assert not fits_signed(-9, 4)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**16 - 1),
+                          st.integers(min_value=16, max_value=20)),
+                min_size=0, max_size=50))
+def test_writer_reader_roundtrip_property(fields):
+    """Any sequence of (value, width) writes reads back identically."""
+    writer = BitWriter()
+    for value, width in fields:
+        writer.write(value, width)
+    reader = BitReader(writer.to_bits())
+    for value, width in fields:
+        assert reader.read(width) == value
+    assert reader.remaining == 0
+
+
+@given(st.integers(min_value=1, max_value=33),
+       st.integers())
+def test_sign_extend_inverts_twos_complement(width, value):
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    value = lo + (value % (hi - lo + 1))
+    assert sign_extend(to_twos_complement(value, width), width) == value

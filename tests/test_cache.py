@@ -1,0 +1,120 @@
+"""Tests for the cache hierarchy substrate."""
+
+import pytest
+
+from repro.cache import Cache, CacheHierarchy, HierarchyConfig
+
+
+class TestCache:
+    def test_hit_after_fill(self):
+        cache = Cache(4 * 1024, assoc=4)
+        hit, _ = cache.access(0x1000, is_write=False)
+        assert not hit
+        hit, _ = cache.access(0x1000, is_write=False)
+        assert hit
+
+    def test_same_line_different_bytes(self):
+        cache = Cache(4 * 1024, assoc=4)
+        cache.access(0x1000, is_write=False)
+        hit, _ = cache.access(0x1030, is_write=False)  # same 64 B line
+        assert hit
+
+    def test_lru_eviction(self):
+        cache = Cache(2 * 64, assoc=2, line_size=64)  # 1 set, 2 ways
+        cache.access(0, False)
+        cache.access(64, False)
+        cache.access(0, False)       # 0 becomes MRU
+        cache.access(128, False)     # evicts 64
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_dirty_victim_writeback(self):
+        cache = Cache(2 * 64, assoc=2, line_size=64)
+        cache.access(0, is_write=True)
+        cache.access(64, False)
+        _, victim = cache.access(128, False)
+        assert victim == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_victim_no_writeback(self):
+        cache = Cache(2 * 64, assoc=2, line_size=64)
+        cache.access(0, False)
+        cache.access(64, False)
+        _, victim = cache.access(128, False)
+        assert victim is None
+
+    def test_victim_address_reconstruction(self):
+        cache = Cache(4 * 64 * 8, assoc=4, line_size=64)  # 8 sets
+        address = 8 * 64 * 5 + 64 * 3  # set 3, tag 5
+        cache.access(address, is_write=True)
+        for tag in range(6, 10):
+            cache.access((tag * 8 + 3) * 64, False)
+        assert cache.stats.writebacks == 1
+        # flush() on a fresh cache with same content reproduces address
+        cache2 = Cache(4 * 64 * 8, assoc=4, line_size=64)
+        cache2.access(address, is_write=True)
+        assert cache2.flush() == [address]
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(1000, assoc=3)
+
+    def test_stats_rates(self):
+        cache = Cache(4 * 1024, assoc=4)
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.stats.hit_rate() == 0.5
+        assert cache.stats.miss_rate() == 0.5
+
+
+class TestHierarchy:
+    def test_miss_propagates_to_memory(self):
+        hierarchy = CacheHierarchy()
+        events = hierarchy.access(0x10000, is_write=False)
+        assert len(events) == 1
+        assert not events[0].is_writeback
+
+    def test_l1_hit_produces_no_events(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0x10000, is_write=False)
+        assert hierarchy.access(0x10000, is_write=False) == []
+
+    def test_dirty_data_eventually_written_back(self):
+        config = HierarchyConfig(
+            l1_bytes=2 * 64, l1_assoc=2,
+            l2_bytes=4 * 64, l2_assoc=4,
+            l3_bytes=8 * 64, l3_assoc=8,
+        )
+        hierarchy = CacheHierarchy(config)
+        hierarchy.access(0, is_write=True)
+        writebacks = []
+        for i in range(1, 64):
+            for event in hierarchy.access(i * 64, is_write=False):
+                if event.is_writeback:
+                    writebacks.append(event.address)
+        writebacks.extend(e.address for e in hierarchy.flush()
+                          if e.is_writeback)
+        assert 0 in writebacks
+
+    def test_flush_returns_all_dirty(self):
+        hierarchy = CacheHierarchy()
+        for i in range(10):
+            hierarchy.access(i * 64, is_write=True)
+        flushed = {e.address for e in hierarchy.flush() if e.is_writeback}
+        assert flushed == {i * 64 for i in range(10)}
+
+    def test_shared_l3(self):
+        shared = Cache(1 << 20, 16, name="sharedL3")
+        a = CacheHierarchy(shared_l3=shared)
+        b = CacheHierarchy(shared_l3=shared)
+        a.access(0x40000, is_write=False)
+        # Second core misses its private levels but hits the shared L3.
+        events = b.access(0x40000, is_write=False)
+        assert events == []
+
+    def test_stats_structure(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0, False)
+        stats = hierarchy.stats()
+        assert stats["l1"].misses == 1
+        assert stats["l3"].misses == 1

@@ -1,0 +1,85 @@
+"""Tests for SimPoint/CompressPoint selection (§VI-B, Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    kmeans,
+    profile_intervals,
+    representativeness_error,
+    select_points,
+)
+from repro.workloads import get_profile
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        labels, centers = kmeans(points, k=2, seed=0)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_k_capped_at_n(self):
+        points = np.array([[0.0], [1.0]])
+        labels, centers = kmeans(points, k=5, seed=0)
+        assert len(centers) <= 2
+
+    def test_deterministic(self):
+        rng = np.random.RandomState(0)
+        points = rng.rand(40, 3)
+        a = kmeans(points, 4, seed=1)
+        b = kmeans(points, 4, seed=1)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestIntervalProfiling:
+    @pytest.fixture(scope="class")
+    def intervals(self):
+        return profile_intervals(get_profile("GemsFDTD"), n_intervals=10,
+                                 events_per_interval=600, scale=0.03)
+
+    def test_interval_count(self, intervals):
+        assert len(intervals) == 10
+
+    def test_bbv_normalized(self, intervals):
+        for interval in intervals:
+            assert interval.bbv.sum() == pytest.approx(1.0)
+
+    def test_ratio_declines_as_footprint_fills(self, intervals):
+        """Fig. 9's shape: early intervals see mostly-zero allocations."""
+        assert intervals[0].compression_ratio > \
+            intervals[-1].compression_ratio
+
+    def test_memory_used_monotone(self, intervals):
+        used = [i.memory_used for i in intervals]
+        assert all(b >= a for a, b in zip(used, used[1:]))
+
+
+class TestSelection:
+    @pytest.fixture(scope="class")
+    def intervals(self):
+        return profile_intervals(get_profile("GemsFDTD"), n_intervals=12,
+                                 events_per_interval=600, scale=0.03)
+
+    def test_weights_sum_to_one(self, intervals):
+        selection = select_points(intervals, k=4)
+        assert sum(selection.weights) == pytest.approx(1.0)
+
+    def test_chosen_are_valid_indices(self, intervals):
+        selection = select_points(intervals, k=4)
+        assert all(0 <= i < len(intervals) for i in selection.chosen)
+
+    def test_compresspoint_beats_simpoint(self, intervals):
+        """The Fig. 9 claim: compression-aware selection represents the
+        compression ratio better than BBV-only selection."""
+        simpoint = select_points(intervals, k=4, with_compression=False)
+        compresspoint = select_points(intervals, k=4, with_compression=True)
+        assert (representativeness_error(intervals, compresspoint)
+                <= representativeness_error(intervals, simpoint) + 0.02)
+
+    def test_method_labels(self, intervals):
+        assert select_points(intervals, with_compression=False).method == \
+            "simpoint"
+        assert select_points(intervals, with_compression=True).method == \
+            "compresspoint"

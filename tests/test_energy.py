@@ -1,0 +1,87 @@
+"""Tests for the energy and area models (§VII-C/D/E)."""
+
+import pytest
+
+from repro.core.stats import ControllerStats
+from repro.energy.area import (
+    BPC_AREA_UM2,
+    METADATA_CACHE_AREA_UM2,
+    AdderModel,
+    AreaReport,
+    offset_adder_for_bins,
+)
+from repro.energy.model import EnergyConstants, EnergyModel
+
+
+class TestEnergyModel:
+    def test_paper_overhead_fractions(self):
+        """The §VII-C headline claims must hold for the constants."""
+        fractions = EnergyConstants().sanity_fractions()
+        assert fractions["bpc_vs_channel_power"] < 0.004 + 1e-12
+        assert fractions["metadata_vs_dram_read"] < 0.008 + 1e-12
+
+    def test_dram_energy_scales_with_accesses(self):
+        model = EnergyModel()
+        low = model.evaluate(cycles=1000, dram_reads=10, dram_writes=10)
+        high = model.evaluate(cycles=1000, dram_reads=100, dram_writes=100)
+        assert high.dram_dynamic_nj > low.dram_dynamic_nj
+
+    def test_core_energy_scales_with_runtime(self):
+        model = EnergyModel()
+        fast = model.evaluate(cycles=1000, dram_reads=10, dram_writes=10)
+        slow = model.evaluate(cycles=2000, dram_reads=10, dram_writes=10)
+        assert slow.core_nj == pytest.approx(2 * fast.core_nj)
+
+    def test_compressor_energy_counts_compressed_ops(self):
+        model = EnergyModel()
+        stats = ControllerStats(demand_reads=100, demand_writes=50,
+                                zero_line_reads=20)
+        run = model.evaluate(1000, 100, 50, stats)
+        # 130 non-zero demand ops through the BPC unit.
+        assert run.compressor_nj == pytest.approx(
+            130 * EnergyConstants().bpc_access_nj)
+
+    def test_baseline_has_no_controller_energy(self):
+        model = EnergyModel()
+        run = model.evaluate(1000, 100, 50, stats=None)
+        assert run.compressor_nj == 0.0
+        assert run.metadata_cache_nj == 0.0
+
+    def test_relative_metrics(self):
+        model = EnergyModel()
+        baseline = model.evaluate(1000, 100, 100)
+        compressed = model.evaluate(1000, 60, 60)
+        relative = model.relative(compressed, baseline)
+        assert relative["dram"] < 1.0
+        assert relative["core"] == pytest.approx(1.0)
+
+
+class TestAreaModel:
+    def test_paper_area_numbers(self):
+        report = AreaReport()
+        assert report.bpc_um2 == BPC_AREA_UM2 == 43_000
+        assert report.metadata_cache_um2 == METADATA_CACHE_AREA_UM2
+        assert report.total_mm2 == pytest.approx(0.143)
+
+    def test_adder_matches_paper(self):
+        """§VII-E: <1.5K NAND gates, 38 naive / 32 optimized delays."""
+        adder = AdderModel(n_inputs=63, input_bits=4)
+        assert adder.nand_gates < 1500
+        assert adder.gate_delays_naive == 38
+        assert adder.gate_delays_optimized == 32
+        assert adder.visible_cycles() == 1
+
+    def test_adder_shape_from_bins(self):
+        adder = offset_adder_for_bins((0, 8, 32, 64))
+        # Shifted right by 3 bits: addends 0/1/4/8 -> 4-bit inputs.
+        assert adder.input_bits == 4
+
+    def test_wider_bins_need_wider_adder(self):
+        narrow = offset_adder_for_bins((0, 8, 32, 64))
+        wide = offset_adder_for_bins((0, 22, 44, 64))  # gcd shift = 1
+        assert wide.input_bits > narrow.input_bits
+
+    def test_without_overlap_costs_more_cycles(self):
+        adder = AdderModel()
+        assert adder.visible_cycles(overlap_with_metadata_lookup=False) >= \
+            adder.visible_cycles(overlap_with_metadata_lookup=True)

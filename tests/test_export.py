@@ -1,0 +1,51 @@
+"""Tests for CSV/JSON export of experiment results."""
+
+import json
+
+from repro.analysis import to_csv, to_json, write_result
+from repro.analysis.report import ExperimentResult
+
+
+def sample_result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="demo",
+        title="Demo experiment",
+        columns=["benchmark", "ratio"],
+        paper_values={"claim": "about 2x"},
+        notes=["a note"],
+    )
+    result.add_row(benchmark="gcc", ratio=1.9)
+    result.add_row(benchmark="mcf", ratio=1.3, _stalled=True)
+    result.summary["mean"] = 1.6
+    return result
+
+
+class TestJson:
+    def test_roundtrips_through_json(self):
+        payload = json.loads(to_json(sample_result()))
+        assert payload["experiment_id"] == "demo"
+        assert payload["rows"][0]["ratio"] == 1.9
+        assert payload["summary"]["mean"] == 1.6
+        assert payload["paper_values"]["claim"] == "about 2x"
+
+    def test_private_keys_stripped(self):
+        payload = json.loads(to_json(sample_result()))
+        assert "_stalled" not in payload["rows"][1]
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = to_csv(sample_result())
+        lines = text.strip().splitlines()
+        assert lines[0] == "benchmark,ratio"
+        assert lines[1] == "gcc,1.9"
+        assert len(lines) == 3
+
+
+class TestWrite:
+    def test_writes_both_files(self, tmp_path):
+        paths = write_result(sample_result(), tmp_path)
+        assert paths["json"].exists()
+        assert paths["csv"].exists()
+        payload = json.loads(paths["json"].read_text())
+        assert payload["title"] == "Demo experiment"

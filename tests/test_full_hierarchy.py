@@ -1,0 +1,45 @@
+"""Tests for the full-hierarchy simulation mode."""
+
+import pytest
+
+from repro.simulation import SimulationConfig, simulate_full_hierarchy
+from repro.workloads import get_profile
+
+SIM = SimulationConfig(n_events=3000, scale=0.02, seed=6)
+
+
+class TestFullHierarchy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_full_hierarchy(get_profile("gcc"), "compresso", SIM)
+
+    def test_caches_filter_the_stream(self, result):
+        """Only a fraction of core accesses reach memory."""
+        assert 0 < result.llc_fills < result.core_accesses
+
+    def test_writebacks_occur(self, result):
+        assert result.llc_writebacks > 0
+
+    def test_controller_saw_the_llc_stream(self, result):
+        stats = result.controller_stats
+        assert stats.demand_reads == result.llc_fills
+        assert stats.demand_writes == result.llc_writebacks
+
+    def test_cache_stats_present(self, result):
+        assert result.cache_stats["l1"].accesses == result.core_accesses
+        assert result.cache_stats["l1"].hit_rate() > 0.3
+
+    def test_compression_happens(self, result):
+        assert result.final_ratio > 1.0
+
+    def test_speedup_comparison(self):
+        base = simulate_full_hierarchy(get_profile("gcc"), "uncompressed",
+                                       SIM)
+        comp = simulate_full_hierarchy(get_profile("gcc"), "compresso", SIM)
+        assert 0.3 < comp.speedup_over(base) < 3.0
+
+    def test_determinism(self):
+        a = simulate_full_hierarchy(get_profile("astar"), "compresso", SIM)
+        b = simulate_full_hierarchy(get_profile("astar"), "compresso", SIM)
+        assert a.cycles == b.cycles
+        assert a.llc_fills == b.llc_fills

@@ -1,0 +1,48 @@
+"""Tests for the 4-core simulation (§VI-E)."""
+
+import pytest
+
+from repro.simulation import SimulationConfig, simulate_multicore
+from repro.workloads import mix_profiles
+
+SIM = SimulationConfig(n_events=300, scale=0.02, seed=4)
+
+
+class TestMulticore:
+    def test_runs_a_mix(self):
+        profiles = mix_profiles("mix2")
+        result = simulate_multicore(profiles, "compresso", SIM, "mix2")
+        assert result.mix == "mix2"
+        assert len(result.core_cycles) == 4
+        assert all(c > 0 for c in result.core_cycles)
+        assert all(i > 0 for i in result.core_instructions)
+
+    def test_speedup_is_geomean_of_cores(self):
+        profiles = mix_profiles("mix6")
+        base = simulate_multicore(profiles, "uncompressed", SIM)
+        comp = simulate_multicore(profiles, "compresso", SIM)
+        speedup = comp.speedup_over(base)
+        assert 0.3 < speedup < 3.0
+
+    def test_shared_controller_sees_all_cores(self):
+        profiles = mix_profiles("mix2")
+        result = simulate_multicore(profiles, "compresso", SIM)
+        # Demand accesses = all cores' events.
+        assert result.controller_stats.demand_accesses == 4 * SIM.n_events
+
+    def test_metadata_pressure_of_mix10(self):
+        """Mix10 (three graph thrashers) stresses the shared cache more
+        than the compute-bound mix6 (§VII-B)."""
+        hot = simulate_multicore(mix_profiles("mix10"), "compresso", SIM)
+        cold = simulate_multicore(mix_profiles("mix6"), "compresso", SIM)
+        assert hot.metadata_hit_rate < cold.metadata_hit_rate
+
+    def test_determinism(self):
+        profiles = mix_profiles("mix4")
+        a = simulate_multicore(profiles, "lcp", SIM)
+        b = simulate_multicore(profiles, "lcp", SIM)
+        assert a.core_cycles == b.core_cycles
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_multicore([], "compresso", SIM)

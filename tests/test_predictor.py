@@ -1,0 +1,101 @@
+"""Tests for the page-overflow predictor (§IV-B2, Fig. 5b)."""
+
+import pytest
+
+from repro.core.predictor import PageOverflowPredictor, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_saturates_high(self):
+        counter = SaturatingCounter(2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(2, value=1)
+        for _ in range(5):
+            counter.decrement()
+        assert counter.value == 0
+
+    def test_high_bit(self):
+        counter = SaturatingCounter(2)
+        assert not counter.high_bit_set
+        counter.increment()
+        assert not counter.high_bit_set
+        counter.increment()
+        assert counter.high_bit_set
+
+    def test_three_bit_range(self):
+        counter = SaturatingCounter(3)
+        for _ in range(20):
+            counter.increment()
+        assert counter.value == 7
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+
+    def test_invalid_initial_value(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(2, value=4)
+
+
+class TestPageOverflowPredictor:
+    def _pressurize(self, predictor, page=1):
+        """Drive both local and global counters to their high states."""
+        for _ in range(2):
+            predictor.on_line_overflow(page)
+        for _ in range(4):
+            predictor.on_page_overflow()
+
+    def test_fires_only_when_both_high(self):
+        predictor = PageOverflowPredictor()
+        assert not predictor.should_inflate(1)
+        # Local high, global low: no.
+        predictor.on_line_overflow(1)
+        predictor.on_line_overflow(1)
+        assert not predictor.should_inflate(1)
+        # Global high too: yes.
+        for _ in range(4):
+            predictor.on_page_overflow()
+        assert predictor.should_inflate(1)
+        # Other pages without local pressure stay cold.
+        assert not predictor.should_inflate(2)
+
+    def test_underflow_cools_local(self):
+        predictor = PageOverflowPredictor()
+        self._pressurize(predictor)
+        assert predictor.should_inflate(1)
+        predictor.on_line_underflow(1)
+        assert not predictor.should_inflate(1)
+
+    def test_page_shrink_cools_global(self):
+        predictor = PageOverflowPredictor()
+        self._pressurize(predictor)
+        for _ in range(4):
+            predictor.on_page_shrink()
+        assert not predictor.should_inflate(1)
+
+    def test_disabled_never_fires(self):
+        predictor = PageOverflowPredictor(enabled=False)
+        self._pressurize(predictor)
+        assert not predictor.should_inflate(1)
+
+    def test_eviction_drops_local_state(self):
+        """Local counters live in the metadata cache (§IV-B2)."""
+        predictor = PageOverflowPredictor()
+        self._pressurize(predictor)
+        predictor.drop_page(1)
+        assert not predictor.should_inflate(1)
+        assert predictor.local_value(1) == 0
+        # Global state survives eviction.
+        assert predictor.global_value >= 4
+
+    def test_local_counters_are_per_page(self):
+        predictor = PageOverflowPredictor()
+        predictor.on_line_overflow(1)
+        predictor.on_line_overflow(1)
+        predictor.on_line_overflow(2)
+        assert predictor.local_value(1) == 2
+        assert predictor.local_value(2) == 1
