@@ -9,6 +9,18 @@ Problem size is selected with the ``REPRO_BENCH_SCALE`` environment
 variable: ``quick`` (seconds per experiment, 4 benchmarks), ``default``
 (the full 30-benchmark suite at reduced trace length — the shipped
 EXPERIMENTS.md numbers), or ``full`` (sharper statistics, slow).
+
+Execution goes through :class:`repro.runner.Runner` (docs/RUNNER.md),
+configured via environment variables:
+
+* ``REPRO_BENCH_JOBS`` — worker processes per experiment (default 1,
+  the deterministic serial path).
+* ``REPRO_BENCH_CACHE`` — set to ``1`` to reuse/populate the
+  ``.repro_cache/`` content-addressed result cache.
+* ``REPRO_BENCH_CACHE_DIR`` — cache directory (default
+  ``.repro_cache``).
+* ``REPRO_BENCH_JOURNAL`` — path of a ``runs.jsonl`` journal to append
+  per-unit events to (default: journaling off).
 """
 
 import os
@@ -16,8 +28,33 @@ import os
 import pytest
 
 from repro.analysis import DEFAULT, FULL, QUICK, render
+from repro.runner import ResultCache, RunJournal, Runner
 
 _SCALES = {"quick": QUICK, "default": DEFAULT, "full": FULL}
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_runner() -> Runner:
+    """Build the shared Runner from REPRO_BENCH_* environment knobs."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = None
+    if os.environ.get("REPRO_BENCH_CACHE", "").lower() in _TRUTHY:
+        cache = ResultCache(
+            os.environ.get("REPRO_BENCH_CACHE_DIR", ".repro_cache"))
+    journal_path = os.environ.get("REPRO_BENCH_JOURNAL", "")
+    journal = RunJournal(journal_path) if journal_path else None
+    return Runner(jobs=jobs, cache=cache, journal=journal)
+
+
+_RUNNER = None
+
+
+def _shared_runner() -> Runner:
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = _env_runner()
+    return _RUNNER
 
 
 @pytest.fixture(scope="session")
@@ -28,6 +65,12 @@ def scale():
             f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
         )
     return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The env-configured work-unit runner shared by the whole session."""
+    return _shared_runner()
 
 
 @pytest.fixture(scope="session")
@@ -47,7 +90,11 @@ def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing.
 
     These are minutes-long end-to-end experiments; statistical rounds
-    would add nothing but wall-clock.
+    would add nothing but wall-clock.  Work is submitted through the
+    env-configured :class:`repro.runner.Runner`, so ``REPRO_BENCH_JOBS``
+    / ``REPRO_BENCH_CACHE`` parallelize and memoize the harness without
+    touching the bench files.
     """
+    kwargs.setdefault("runner", _shared_runner())
     return benchmark.pedantic(func, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Documentation lint: module docstrings + internal markdown links.
+
+Checks two invariants, and is wired into the test run via
+``tests/test_docs.py``:
+
+1. every module under ``src/repro/`` has a module docstring;
+2. every relative link in the top-level markdown docs (README.md,
+   DESIGN.md, EXPERIMENTS.md, docs/RUNNER.md) resolves to an existing
+   file.
+
+Usage::
+
+    python scripts/check_docs.py
+
+Exits non-zero listing each problem on stderr.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose relative links must resolve.
+DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def check_docstrings() -> List[str]:
+    """Every module under src/repro/ must open with a docstring."""
+    problems = []
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if not ast.get_docstring(tree):
+            problems.append(
+                f"{path.relative_to(ROOT)}: missing module docstring")
+    return problems
+
+
+def check_links() -> List[str]:
+    """Relative markdown links in DOCS must point at existing files."""
+    problems = []
+    for doc in DOCS:
+        path = ROOT / doc
+        if not path.exists():
+            problems.append(f"{doc}: file missing")
+            continue
+        # Fenced code blocks can contain bracket/paren sequences that
+        # look like links (table output, list comprehensions) — skip.
+        text = _FENCE.sub("", path.read_text())
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            target = target.split("#", 1)[0]
+            if target and not (path.parent / target).exists():
+                problems.append(f"{doc}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    problems = check_docstrings() + check_links()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    n_modules = sum(1 for _ in (ROOT / "src" / "repro").rglob("*.py"))
+    print(f"check_docs: OK ({n_modules} modules, {len(DOCS)} docs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,29 @@
 #!/usr/bin/env python
-"""Insert the recorded bench_output.txt summaries into EXPERIMENTS.md.
+"""Refresh the ``<!-- MEASURED -->`` section of EXPERIMENTS.md.
 
-Run after ``pytest benchmarks/ --benchmark-only -s > bench_output.txt``:
+Two modes.  The legacy mode inserts the recorded bench_output.txt
+summaries, produced by ``pytest benchmarks/ --benchmark-only -s >
+bench_output.txt``::
 
     python scripts/update_experiments_md.py
 
-It extracts each experiment's summary block (the lines between the
-dashed rule and the ``paper reports:`` marker) and replaces the
-``<!-- MEASURED -->`` section of EXPERIMENTS.md.
+``--regenerate`` instead recomputes the experiments directly through
+the parallel runner (:mod:`repro.runner`, see docs/RUNNER.md) — fanned
+out over ``--jobs`` workers and memoized in ``.repro_cache/``, so a
+re-run only recomputes cells invalidated by a config or code change::
+
+    python scripts/update_experiments_md.py --regenerate --jobs 4
+    python scripts/update_experiments_md.py --regenerate --scale quick \
+        --filter fig10 --no-cache
+
+Either way it extracts each experiment's summary block (the lines
+between the dashed rule and the ``paper reports:`` marker) and replaces
+the ``<!-- MEASURED -->`` section of EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -45,14 +57,31 @@ def extract_summaries(bench_text: str) -> str:
     return "\n".join(blocks)
 
 
-def main() -> int:
-    bench_path = ROOT / "bench_output.txt"
+def regenerate_text(jobs: int, scale_name: str, filters, use_cache: bool,
+                    journal_path: str) -> str:
+    """Recompute experiments through the runner; return rendered text."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.analysis import render
+    from repro.analysis.__main__ import RUNNERS, SCALES, _invoke
+    from repro.runner import ResultCache, RunJournal, Runner
+
+    names = list(RUNNERS)
+    if filters:
+        names = [name for name in names
+                 if any(pattern in name for pattern in filters)]
+    runner = Runner(
+        jobs=jobs,
+        cache=ResultCache() if use_cache else None,
+        journal=RunJournal(journal_path) if journal_path else None,
+        progress=True,
+    )
+    scale = SCALES[scale_name]
+    return "\n".join(render(_invoke(name, scale, runner)) + "\n"
+                     for name in names)
+
+
+def update_doc(measured: str) -> int:
     doc_path = ROOT / "EXPERIMENTS.md"
-    if not bench_path.exists():
-        print("bench_output.txt not found; run the benchmark harness first",
-              file=sys.stderr)
-        return 1
-    measured = extract_summaries(bench_path.read_text())
     doc = doc_path.read_text()
     marker = "<!-- MEASURED -->"
     if marker not in doc:
@@ -69,6 +98,40 @@ def main() -> int:
     doc_path.write_text(doc)
     print(f"EXPERIMENTS.md updated with {measured.count('###')} summaries")
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--regenerate", action="store_true",
+                        help="recompute via the parallel runner instead of "
+                             "reading bench_output.txt")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --regenerate (default 1)")
+    parser.add_argument("--scale", choices=("quick", "default", "full"),
+                        default="default",
+                        help="problem size for --regenerate")
+    parser.add_argument("--filter", action="append", default=[],
+                        metavar="PATTERN",
+                        help="restrict --regenerate to matching experiments "
+                             "(the MEASURED section then holds only those)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="bypass .repro_cache/ when regenerating")
+    parser.add_argument("--journal", default="runs.jsonl",
+                        help="run-journal path for --regenerate "
+                             "(default runs.jsonl; '' disables)")
+    args = parser.parse_args(argv)
+
+    if args.regenerate:
+        text = regenerate_text(args.jobs, args.scale, args.filter,
+                               args.cache, args.journal)
+    else:
+        bench_path = ROOT / "bench_output.txt"
+        if not bench_path.exists():
+            print("bench_output.txt not found; run the benchmark harness "
+                  "first (or use --regenerate)", file=sys.stderr)
+            return 1
+        text = bench_path.read_text()
+    return update_doc(extract_summaries(text))
 
 
 if __name__ == "__main__":

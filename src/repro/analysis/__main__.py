@@ -1,6 +1,15 @@
 """Command-line experiment runner.
 
-Regenerate any of the paper's tables/figures without pytest::
+Two forms.  The ``run`` subcommand is the documented interface
+(docs/RUNNER.md): parallel execution, content-addressed result caching
+under ``.repro_cache/``, and a ``runs.jsonl`` run journal::
+
+    python -m repro.analysis run --jobs 4 --scale quick
+    python -m repro.analysis run --filter fig10 --filter tab2
+    python -m repro.analysis run --no-cache --jobs 1 --scale default
+
+The legacy positional form still works and behaves exactly as before
+(serial, no cache, no journal)::
 
     python -m repro.analysis fig2 fig9 --scale quick
     python -m repro.analysis all --scale default
@@ -32,6 +41,7 @@ from . import (
     run_sec7_energy_area,
     run_tab2,
 )
+from ..runner import ResultCache, RunJournal, Runner, timing_table
 
 RUNNERS = {
     "fig2": run_fig2,
@@ -50,10 +60,75 @@ RUNNERS = {
 SCALES = {"quick": QUICK, "default": DEFAULT, "full": FULL}
 
 
-def main(argv=None) -> int:
+def _invoke(name: str, scale, runner: Runner):
+    """Call one experiment runner (sec7 is analytic and takes no scale)."""
+    fn = RUNNERS[name]
+    if name == "sec7":
+        return fn(runner=runner)
+    return fn(scale, runner=runner)
+
+
+def _run_command(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis run",
+        description="Parallel, cached, journaled experiment regeneration.",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = deterministic serial "
+                             "path, default)")
+    parser.add_argument("--cache", dest="cache",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="reuse/populate the content-addressed result "
+                             "cache (default: on)")
+    parser.add_argument("--cache-dir", default=".repro_cache",
+                        help="cache directory (default: .repro_cache)")
+    parser.add_argument("--journal", default="runs.jsonl", metavar="PATH",
+                        help="run-journal JSONL path (default: runs.jsonl)")
+    parser.add_argument("--no-journal", dest="journal",
+                        action="store_const", const="",
+                        help="disable the run journal")
+    parser.add_argument("--filter", action="append", default=[],
+                        metavar="PATTERN",
+                        help="only experiments whose id contains PATTERN "
+                             "(repeatable; default: all)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick",
+                        help="problem size (default: quick)")
+    args = parser.parse_args(argv)
+
+    names = list(RUNNERS)
+    if args.filter:
+        names = [name for name in names
+                 if any(pattern in name for pattern in args.filter)]
+    if not names:
+        parser.error(f"no experiment matches {args.filter}; "
+                     f"known: {sorted(RUNNERS)}")
+
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    journal = RunJournal(args.journal) if args.journal else None
+    runner = Runner(jobs=args.jobs, cache=cache, journal=journal,
+                    progress=True)
+    started = time.time()
+    if journal is not None:
+        journal.event("run_start", jobs=runner.jobs,
+                      cache_enabled=cache is not None,
+                      experiments=names, scale=args.scale)
+    for name in names:
+        result = _invoke(name, SCALES[args.scale], runner)
+        print(render(result))
+        print()
+    if journal is not None:
+        journal.event("run_end", wall_s=time.time() - started,
+                      units=len(runner.records),
+                      cache_hits=runner.cache_hits)
+    print(timing_table(runner.records))
+    return 0
+
+
+def _legacy_command(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Regenerate Compresso paper tables/figures.",
+        description="Regenerate Compresso paper tables/figures "
+                    "(see also the 'run' subcommand).",
     )
     parser.add_argument("experiments", nargs="+",
                         help=f"experiment ids ({', '.join(RUNNERS)}) or 'all'")
@@ -68,14 +143,20 @@ def main(argv=None) -> int:
                      f"known: {sorted(RUNNERS)}")
     scale = SCALES[args.scale]
 
+    runner = Runner()     # serial, uncached, unjournaled: historical path
     for name in names:
-        runner = RUNNERS[name]
         started = time.time()
-        # sec7 is purely analytic and takes no scale.
-        result = runner() if name == "sec7" else runner(scale)
+        result = _invoke(name, scale, runner)
         print(render(result))
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
     return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return _run_command(argv[1:])
+    return _legacy_command(argv)
 
 
 if __name__ == "__main__":

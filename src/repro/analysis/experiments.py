@@ -10,12 +10,21 @@ pytest-benchmark; EXPERIMENTS.md records paper-vs-measured.
 All runners accept an :class:`ExperimentScale`; the defaults trade
 precision for wall-clock so the full harness finishes in minutes on a
 laptop.  ``FULL`` sharpens the statistics.
+
+Execution is decomposed into independent per-(benchmark, system,
+config) **work units** — module-level ``_unit_*`` functions returning
+plain JSON data — submitted through :class:`repro.runner.Runner`.
+Every ``run_*`` accepts an optional ``runner``; the default is a
+serial, uncached, unjournaled runner that reproduces the historical
+behaviour exactly.  Pass ``Runner(jobs=N, cache=..., journal=...)``
+(or use ``python -m repro.analysis run``) for parallel, memoized,
+observable execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..compression import BDICompressor, BPCCompressor, is_zero_line
 from ..core.config import (
@@ -26,8 +35,10 @@ from ..core.config import (
 )
 from ..core.lcp import LCPPack
 from ..core.linepack import LinePack, split_access_fraction
+from ..core.stats import ControllerStats
 from ..energy.area import AdderModel, AreaReport, offset_adder_for_bins
 from ..energy.model import EnergyConstants, EnergyModel
+from ..runner import Runner, WorkUnit
 from ..simulation.capacity import (
     CapacityConfig,
     capacity_impact,
@@ -87,24 +98,87 @@ def _profiles(scale: ExperimentScale):
     return [PROFILES[name] for name in scale.benchmarks]
 
 
+def _run_units(runner: Optional[Runner], experiment: str,
+               fn: Callable[..., Any],
+               labeled_params: Sequence) -> List[Any]:
+    """Submit one work unit per (label, params) pair; results in order."""
+    active = runner if runner is not None else Runner()
+    units = [
+        WorkUnit(experiment=experiment, label=f"{experiment}/{label}",
+                 fn=fn, params=params)
+        for label, params in labeled_params
+    ]
+    return active.map(units)
+
+
+def _stats_summary(stats: ControllerStats) -> Dict[str, Any]:
+    """The ControllerStats digest journaled with each unit_end event."""
+    return {
+        "demand_accesses": stats.demand_accesses,
+        "extra_accesses": stats.extra_accesses,
+        "relative_extra_accesses": stats.relative_extra_accesses(),
+        "metadata_hit_rate": stats.metadata_hit_rate(),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Fig. 2 — compression ratio: {BPC, BDI} x {LinePack, LCP}
 # ---------------------------------------------------------------------------
 
-def run_fig2(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
-    """Compression ratios of the four algorithm/packing combinations."""
+def _fig2_combos():
     # LinePack uses Compresso's alignment-friendly bins; LCP packing uses
     # the prior work's compression-optimized bins (its own design).
-    combos = {
+    return {
         "bpc+linepack": (BPCCompressor(), LinePack(ALIGNMENT_FRIENDLY_LINE_BINS)),
         "bpc+lcp": (BPCCompressor(), LCPPack(PRIOR_WORK_LINE_BINS)),
         "bdi+linepack": (BDICompressor(), LinePack(ALIGNMENT_FRIENDLY_LINE_BINS)),
         "bdi+lcp": (BDICompressor(), LCPPack(PRIOR_WORK_LINE_BINS)),
     }
+
+
+def _line_size(compressor, cache: Dict[bytes, int], line: bytes) -> int:
+    if is_zero_line(line):
+        return 0
+    size = cache.get(line)
+    if size is None:
+        size = min(compressor.compress(line).size_bytes, 64)
+        cache[line] = size
+    return size
+
+
+def _unit_fig2(benchmark: str, scale: ExperimentScale) -> dict:
+    """Fig. 2 cell: four algorithm/packing ratios for one benchmark."""
+    profile = PROFILES[benchmark]
+    combos = _fig2_combos()
+    caches: Dict[str, Dict[bytes, int]] = {"bpc": {}, "bdi": {}}
+    workload = Workload(profile, scale=scale.scale, seed=scale.seed)
+    n_pages = min(workload.pages, scale.fig2_pages)
+    row: Dict[str, Any] = {"benchmark": profile.name}
+    for combo, (compressor, packer) in combos.items():
+        cache = caches[compressor.name]
+        raw = allocated = 0
+        for page in range(n_pages):
+            sizes = [
+                _line_size(compressor, cache, line)
+                for line in workload.page_lines(page)
+            ]
+            layout = packer.pack(sizes)
+            raw += 4096
+            if layout.total_bytes:
+                allocated += max(
+                    512, (layout.total_bytes + 511) // 512 * 512
+                )
+        row[combo] = raw / allocated if allocated else 64.0
+    return {"row": row}
+
+
+def run_fig2(scale: ExperimentScale = DEFAULT,
+             runner: Optional[Runner] = None) -> ExperimentResult:
+    """Compression ratios of the four algorithm/packing combinations."""
     result = ExperimentResult(
         experiment_id="fig2",
         title="Compression ratio, BPC/BDI x LinePack/LCP",
-        columns=["benchmark"] + list(combos),
+        columns=["benchmark"] + list(_fig2_combos()),
         paper_values={
             "bpc+linepack average": 1.85,
             "lcp loss vs linepack (bpc)": "13%",
@@ -113,39 +187,13 @@ def run_fig2(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
         notes=["memory contents are the synthetic per-benchmark mixes "
                "(see workloads.profiles); zeusmp is the high outlier"],
     )
-    size_cache: Dict[bytes, int] = {}
-    bdi_cache: Dict[bytes, int] = {}
-
-    def line_size(compressor, cache, line):
-        if is_zero_line(line):
-            return 0
-        size = cache.get(line)
-        if size is None:
-            size = min(compressor.compress(line).size_bytes, 64)
-            cache[line] = size
-        return size
-
-    for profile in _profiles(scale):
-        workload = Workload(profile, scale=scale.scale, seed=scale.seed)
-        n_pages = min(workload.pages, scale.fig2_pages)
-        row = {"benchmark": profile.name}
-        for combo, (compressor, packer) in combos.items():
-            cache = size_cache if compressor.name == "bpc" else bdi_cache
-            raw = allocated = 0
-            for page in range(n_pages):
-                sizes = [
-                    line_size(compressor, cache, line)
-                    for line in workload.page_lines(page)
-                ]
-                layout = packer.pack(sizes)
-                raw += 4096
-                if layout.total_bytes:
-                    allocated += max(
-                        512, (layout.total_bytes + 511) // 512 * 512
-                    )
-            row[combo] = raw / allocated if allocated else 64.0
-        result.add_row(**row)
-    for combo in combos:
+    outputs = _run_units(
+        runner, "fig2", _unit_fig2,
+        [(name, {"benchmark": name, "scale": scale})
+         for name in scale.benchmarks])
+    for output in outputs:
+        result.add_row(**output["row"])
+    for combo in _fig2_combos():
         result.summary[f"{combo} mean"] = arithmetic_mean(
             result.column_values(combo)
         )
@@ -156,9 +204,27 @@ def run_fig2(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Fig. 4 — additional data movement, fixed 512 B chunks vs 4 variable sizes
 # ---------------------------------------------------------------------------
 
-def run_fig4(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
-    """Extra accesses (split/overflow/metadata) of the unoptimized system."""
+def _unit_fig4(benchmark: str, scale: ExperimentScale) -> dict:
+    """Fig. 4 cell: fixed-chunk vs variable-chunk extra accesses."""
+    profile = PROFILES[benchmark]
     configs = chunk_vs_variable_configs()
+    row: Dict[str, Any] = {"benchmark": profile.name}
+    stats = None
+    for label, config in configs.items():
+        prefix = "fixed" if label.startswith("fixed") else "var"
+        run = _simulate_with_config(profile, config, scale)
+        stats = run.controller_stats
+        breakdown = stats.breakdown()
+        row[f"{prefix}:total"] = stats.relative_extra_accesses()
+        row[f"{prefix}:split"] = breakdown["split"]
+        row[f"{prefix}:ovf"] = breakdown["overflow"]
+        row[f"{prefix}:md"] = breakdown["metadata"]
+    return {"row": row, "stats": _stats_summary(stats)}
+
+
+def run_fig4(scale: ExperimentScale = DEFAULT,
+             runner: Optional[Runner] = None) -> ExperimentResult:
+    """Extra accesses (split/overflow/metadata) of the unoptimized system."""
     result = ExperimentResult(
         experiment_id="fig4",
         title="Extra data movement vs uncompressed (no optimizations)",
@@ -167,18 +233,12 @@ def run_fig4(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
                  "var:total", "var:split", "var:ovf", "var:md"],
         paper_values={"average extra accesses": "63%", "maximum": "180%"},
     )
-    for profile in _profiles(scale):
-        row = {"benchmark": profile.name}
-        for label, config in configs.items():
-            prefix = "fixed" if label.startswith("fixed") else "var"
-            run = _simulate_with_config(profile, config, scale)
-            stats = run.controller_stats
-            breakdown = stats.breakdown()
-            row[f"{prefix}:total"] = stats.relative_extra_accesses()
-            row[f"{prefix}:split"] = breakdown["split"]
-            row[f"{prefix}:ovf"] = breakdown["overflow"]
-            row[f"{prefix}:md"] = breakdown["metadata"]
-        result.add_row(**row)
+    outputs = _run_units(
+        runner, "fig4", _unit_fig4,
+        [(name, {"benchmark": name, "scale": scale})
+         for name in scale.benchmarks])
+    for output in outputs:
+        result.add_row(**output["row"])
     result.summary["fixed mean extra"] = arithmetic_mean(
         result.column_values("fixed:total"))
     result.summary["variable mean extra"] = arithmetic_mean(
@@ -198,7 +258,20 @@ def _simulate_with_config(profile, config, scale: ExperimentScale):
 # Fig. 6 — the optimization ladder
 # ---------------------------------------------------------------------------
 
-def run_fig6(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def _unit_fig6(benchmark: str, scale: ExperimentScale) -> dict:
+    """Fig. 6 cell: the optimization ladder on one benchmark."""
+    profile = PROFILES[benchmark]
+    row: Dict[str, Any] = {"benchmark": profile.name}
+    stats = None
+    for name, config in optimization_ladder():
+        run = _simulate_with_config(profile, config, scale)
+        stats = run.controller_stats
+        row[name] = stats.relative_extra_accesses()
+    return {"row": row, "stats": _stats_summary(stats)}
+
+
+def run_fig6(scale: ExperimentScale = DEFAULT,
+             runner: Optional[Runner] = None) -> ExperimentResult:
     """Extra accesses as each data-movement optimization is added."""
     ladder = optimization_ladder()
     result = ExperimentResult(
@@ -210,12 +283,12 @@ def run_fig6(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
             "final breakdown": "3.2% split, 2.1% compression, 9.7% metadata",
         },
     )
-    for profile in _profiles(scale):
-        row = {"benchmark": profile.name}
-        for name, config in ladder:
-            run = _simulate_with_config(profile, config, scale)
-            row[name] = run.controller_stats.relative_extra_accesses()
-        result.add_row(**row)
+    outputs = _run_units(
+        runner, "fig6", _unit_fig6,
+        [(name, {"benchmark": name, "scale": scale})
+         for name in scale.benchmarks])
+    for output in outputs:
+        result.add_row(**output["row"])
     for name, _ in ladder:
         result.summary[f"{name} mean"] = arithmetic_mean(
             result.column_values(name))
@@ -226,15 +299,9 @@ def run_fig6(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Fig. 7 — compression squandered without dynamic repacking
 # ---------------------------------------------------------------------------
 
-def run_fig7(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
-    """Final compression ratio without vs with dynamic repacking."""
-    result = ExperimentResult(
-        experiment_id="fig7",
-        title="Compression-ratio loss from disabling repacking",
-        columns=["benchmark", "with_repack", "without_repack", "relative"],
-        paper_values={"average squandered": "24% without repacking, "
-                                            "2.6% with dynamic repacking"},
-    )
+def _unit_fig7(benchmark: str, scale: ExperimentScale) -> dict:
+    """Fig. 7 cell: final ratio with vs without dynamic repacking."""
+    profile = PROFILES[benchmark]
     with_config = compresso_config()
     without_config = compresso_config(enable_repacking=False)
     # Repacking matters for *long-running* applications (§IV-B4): slots
@@ -243,18 +310,36 @@ def run_fig7(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
     # trace over a smaller footprint than the other experiments.
     long_scale = replace(scale, n_events=scale.n_events * 4,
                          scale=max(0.008, scale.scale / 4))
-    for profile in _profiles(scale):
-        with_run = _simulate_with_config(profile, with_config, long_scale)
-        without_run = _simulate_with_config(profile, without_config,
-                                            long_scale)
-        with_ratio = with_run.final_ratio
-        without_ratio = without_run.final_ratio
-        result.add_row(
-            benchmark=profile.name,
-            with_repack=with_ratio,
-            without_repack=without_ratio,
-            relative=without_ratio / with_ratio,
-        )
+    with_run = _simulate_with_config(profile, with_config, long_scale)
+    without_run = _simulate_with_config(profile, without_config,
+                                        long_scale)
+    with_ratio = with_run.final_ratio
+    without_ratio = without_run.final_ratio
+    row = {
+        "benchmark": profile.name,
+        "with_repack": with_ratio,
+        "without_repack": without_ratio,
+        "relative": without_ratio / with_ratio,
+    }
+    return {"row": row, "stats": _stats_summary(with_run.controller_stats)}
+
+
+def run_fig7(scale: ExperimentScale = DEFAULT,
+             runner: Optional[Runner] = None) -> ExperimentResult:
+    """Final compression ratio without vs with dynamic repacking."""
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Compression-ratio loss from disabling repacking",
+        columns=["benchmark", "with_repack", "without_repack", "relative"],
+        paper_values={"average squandered": "24% without repacking, "
+                                            "2.6% with dynamic repacking"},
+    )
+    outputs = _run_units(
+        runner, "fig7", _unit_fig7,
+        [(name, {"benchmark": name, "scale": scale})
+         for name in scale.benchmarks])
+    for output in outputs:
+        result.add_row(**output["row"])
     result.summary["mean relative ratio (no repack / repack)"] = (
         arithmetic_mean(result.column_values("relative")))
     return result
@@ -264,9 +349,47 @@ def run_fig7(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Fig. 9 — SimPoint vs CompressPoint
 # ---------------------------------------------------------------------------
 
+def _unit_fig9(benchmark: str, scale: ExperimentScale) -> dict:
+    """Fig. 9 cell: representativeness of both selection methods."""
+    intervals = profile_intervals(
+        PROFILES[benchmark],
+        n_intervals=16,
+        events_per_interval=max(400, scale.n_events // 8),
+        scale=scale.scale,
+        seed=scale.seed,
+    )
+    true_mean = arithmetic_mean(
+        [i.compression_ratio for i in intervals])
+    # Average over several clustering seeds: a single k-means draw
+    # can get lucky/unlucky on 16 intervals.
+    seeds = [scale.seed + offset for offset in range(3)]
+    simpoints = [select_points(intervals, k=4, with_compression=False,
+                               seed=s_) for s_ in seeds]
+    compresspoints = [select_points(intervals, k=4,
+                                    with_compression=True, seed=s_)
+                      for s_ in seeds]
+    row = {
+        "benchmark": benchmark,
+        "true_mean": true_mean,
+        "simpoint_est": arithmetic_mean(
+            [p.estimate_ratio(intervals) for p in simpoints]),
+        "compresspoint_est": arithmetic_mean(
+            [p.estimate_ratio(intervals) for p in compresspoints]),
+        "simpoint_err": arithmetic_mean(
+            [representativeness_error(intervals, p)
+             for p in simpoints]),
+        "compresspoint_err": arithmetic_mean(
+            [representativeness_error(intervals, p)
+             for p in compresspoints]),
+    }
+    note = (f"{benchmark} interval ratios: "
+            + ", ".join(f"{i.compression_ratio:.1f}" for i in intervals))
+    return {"row": row, "note": note}
+
+
 def run_fig9(scale: ExperimentScale = DEFAULT,
-             benchmarks: Sequence[str] = ("GemsFDTD", "astar")
-             ) -> ExperimentResult:
+             benchmarks: Sequence[str] = ("GemsFDTD", "astar"),
+             runner: Optional[Runner] = None) -> ExperimentResult:
     """Compressibility representativeness of the two selection methods."""
     result = ExperimentResult(
         experiment_id="fig9",
@@ -278,42 +401,13 @@ def run_fig9(scale: ExperimentScale = DEFAULT,
                            "phases; SimPoint picks unrepresentative regions",
         },
     )
-    for name in benchmarks:
-        intervals = profile_intervals(
-            PROFILES[name],
-            n_intervals=16,
-            events_per_interval=max(400, scale.n_events // 8),
-            scale=scale.scale,
-            seed=scale.seed,
-        )
-        true_mean = arithmetic_mean(
-            [i.compression_ratio for i in intervals])
-        # Average over several clustering seeds: a single k-means draw
-        # can get lucky/unlucky on 16 intervals.
-        seeds = [scale.seed + offset for offset in range(3)]
-        simpoints = [select_points(intervals, k=4, with_compression=False,
-                                   seed=s_) for s_ in seeds]
-        compresspoints = [select_points(intervals, k=4,
-                                        with_compression=True, seed=s_)
-                          for s_ in seeds]
-        result.add_row(
-            benchmark=name,
-            true_mean=true_mean,
-            simpoint_est=arithmetic_mean(
-                [p.estimate_ratio(intervals) for p in simpoints]),
-            compresspoint_est=arithmetic_mean(
-                [p.estimate_ratio(intervals) for p in compresspoints]),
-            simpoint_err=arithmetic_mean(
-                [representativeness_error(intervals, p)
-                 for p in simpoints]),
-            compresspoint_err=arithmetic_mean(
-                [representativeness_error(intervals, p)
-                 for p in compresspoints]),
-        )
-        result.notes.append(
-            f"{name} interval ratios: "
-            + ", ".join(f"{i.compression_ratio:.1f}" for i in intervals)
-        )
+    outputs = _run_units(
+        runner, "fig9", _unit_fig9,
+        [(name, {"benchmark": name, "scale": scale})
+         for name in benchmarks])
+    for output in outputs:
+        result.add_row(**output["row"])
+        result.notes.append(output["note"])
     return result
 
 
@@ -321,8 +415,44 @@ def run_fig9(scale: ExperimentScale = DEFAULT,
 # Fig. 10 — single-core performance (cycle, capacity, overall)
 # ---------------------------------------------------------------------------
 
+def _unit_fig10(benchmark: str, scale: ExperimentScale,
+                memory_fraction: float) -> dict:
+    """Fig. 10 cell: cycle/capacity/overall for one benchmark."""
+    profile = PROFILES[benchmark]
+    sim = scale.sim()
+    runs = {
+        system: simulate(profile, system, sim)
+        for system in ("uncompressed",) + COMPRESSED_SYSTEMS
+    }
+    baseline = runs["uncompressed"]
+    capacity = capacity_impact(
+        profile,
+        {system: runs[system].ratio_timeline
+         for system in COMPRESSED_SYSTEMS},
+        CapacityConfig(
+            memory_fraction=memory_fraction,
+            n_touches=scale.capacity_touches,
+            seed=scale.seed,
+            footprint_pages=min(scale.capacity_footprint_cap,
+                                profile.footprint_pages),
+        ),
+    )
+    row: Dict[str, Any] = {"benchmark": profile.name}
+    for system in COMPRESSED_SYSTEMS:
+        row[f"{system}:cycle"] = runs[system].speedup_over(baseline)
+        row[f"{system}:cap"] = capacity.relative(system)
+        row[f"{system}:overall"] = (
+            row[f"{system}:cycle"] * row[f"{system}:cap"])
+    row["unconstrained:cap"] = capacity.relative("unconstrained")
+    row["_stalled"] = bool(
+        profile.name in CAPACITY_STALLERS or capacity.stalled)
+    return {"row": row,
+            "stats": _stats_summary(runs["compresso"].controller_stats)}
+
+
 def run_fig10(scale: ExperimentScale = DEFAULT,
-              memory_fraction: float = 0.7) -> ExperimentResult:
+              memory_fraction: float = 0.7,
+              runner: Optional[Runner] = None) -> ExperimentResult:
     """Per-benchmark cycle-based, capacity-impact and overall performance."""
     columns = ["benchmark"]
     for system in COMPRESSED_SYSTEMS:
@@ -341,34 +471,13 @@ def run_fig10(scale: ExperimentScale = DEFAULT,
         notes=["mcf, GemsFDTD and lbm are excluded from capacity/overall "
                "aggregates (they stall under constrained memory, §VII-A)"],
     )
-    sim = scale.sim()
-    for profile in _profiles(scale):
-        runs = {
-            system: simulate(profile, system, sim)
-            for system in ("uncompressed",) + COMPRESSED_SYSTEMS
-        }
-        baseline = runs["uncompressed"]
-        capacity = capacity_impact(
-            profile,
-            {system: runs[system].ratio_timeline
-             for system in COMPRESSED_SYSTEMS},
-            CapacityConfig(
-                memory_fraction=memory_fraction,
-                n_touches=scale.capacity_touches,
-                seed=scale.seed,
-                footprint_pages=min(scale.capacity_footprint_cap,
-                                    profile.footprint_pages),
-            ),
-        )
-        row = {"benchmark": profile.name}
-        for system in COMPRESSED_SYSTEMS:
-            row[f"{system}:cycle"] = runs[system].speedup_over(baseline)
-            row[f"{system}:cap"] = capacity.relative(system)
-            row[f"{system}:overall"] = (
-                row[f"{system}:cycle"] * row[f"{system}:cap"])
-        row["unconstrained:cap"] = capacity.relative("unconstrained")
-        row["_stalled"] = profile.name in CAPACITY_STALLERS or capacity.stalled
-        result.add_row(**row)
+    outputs = _run_units(
+        runner, "fig10", _unit_fig10,
+        [(name, {"benchmark": name, "scale": scale,
+                 "memory_fraction": memory_fraction})
+         for name in scale.benchmarks])
+    for output in outputs:
+        result.add_row(**output["row"])
 
     usable = [row for row in result.rows if not row.get("_stalled")]
     for system in COMPRESSED_SYSTEMS:
@@ -387,8 +496,45 @@ def run_fig10(scale: ExperimentScale = DEFAULT,
 # Fig. 11 — 4-core performance
 # ---------------------------------------------------------------------------
 
+def _unit_fig11(mix: str, scale: ExperimentScale,
+                memory_fraction: float) -> dict:
+    """Fig. 11 cell: cycle/capacity/overall for one 4-core mix."""
+    profiles = mix_profiles(mix)
+    # 4-core events per core: keep total work comparable to single-core.
+    sim = scale.sim(n_events=max(500, scale.n_events // 4))
+    runs = {
+        system: simulate_multicore(profiles, system, sim, mix)
+        for system in ("uncompressed",) + COMPRESSED_SYSTEMS
+    }
+    baseline = runs["uncompressed"]
+    # Four interleaved streams share the touches: keep the combined
+    # footprint small enough that the budget actually binds (the
+    # reference strings need >= ~50 touches per page).
+    capacity = multicore_capacity_impact(
+        profiles,
+        {system: runs[system].ratio_timeline
+         for system in COMPRESSED_SYSTEMS},
+        CapacityConfig(
+            memory_fraction=memory_fraction,
+            n_touches=scale.capacity_touches * 2,
+            seed=scale.seed,
+            footprint_pages=min(150, scale.capacity_footprint_cap),
+        ),
+    )
+    row: Dict[str, Any] = {"mix": mix}
+    for system in COMPRESSED_SYSTEMS:
+        row[f"{system}:cycle"] = runs[system].speedup_over(baseline)
+        row[f"{system}:cap"] = capacity.relative(system)
+        row[f"{system}:overall"] = (
+            row[f"{system}:cycle"] * row[f"{system}:cap"])
+    row["unconstrained:cap"] = capacity.relative("unconstrained")
+    return {"row": row,
+            "stats": _stats_summary(runs["compresso"].controller_stats)}
+
+
 def run_fig11(scale: ExperimentScale = DEFAULT,
-              memory_fraction: float = 0.7) -> ExperimentResult:
+              memory_fraction: float = 0.7,
+              runner: Optional[Runner] = None) -> ExperimentResult:
     """Per-mix 4-core cycle, capacity and overall performance."""
     columns = ["mix"]
     for system in COMPRESSED_SYSTEMS:
@@ -404,37 +550,13 @@ def run_fig11(scale: ExperimentScale = DEFAULT,
             "overall": "LCP 1.78 / LCP+Align 1.90 / Compresso 2.27",
         },
     )
-    # 4-core events per core: keep total work comparable to single-core.
-    sim = scale.sim(n_events=max(500, scale.n_events // 4))
-    for mix_name in scale.mixes:
-        profiles = mix_profiles(mix_name)
-        runs = {
-            system: simulate_multicore(profiles, system, sim, mix_name)
-            for system in ("uncompressed",) + COMPRESSED_SYSTEMS
-        }
-        baseline = runs["uncompressed"]
-        # Four interleaved streams share the touches: keep the combined
-        # footprint small enough that the budget actually binds (the
-        # reference strings need >= ~50 touches per page).
-        capacity = multicore_capacity_impact(
-            profiles,
-            {system: runs[system].ratio_timeline
-             for system in COMPRESSED_SYSTEMS},
-            CapacityConfig(
-                memory_fraction=memory_fraction,
-                n_touches=scale.capacity_touches * 2,
-                seed=scale.seed,
-                footprint_pages=min(150, scale.capacity_footprint_cap),
-            ),
-        )
-        row = {"mix": mix_name}
-        for system in COMPRESSED_SYSTEMS:
-            row[f"{system}:cycle"] = runs[system].speedup_over(baseline)
-            row[f"{system}:cap"] = capacity.relative(system)
-            row[f"{system}:overall"] = (
-                row[f"{system}:cycle"] * row[f"{system}:cap"])
-        row["unconstrained:cap"] = capacity.relative("unconstrained")
-        result.add_row(**row)
+    outputs = _run_units(
+        runner, "fig11", _unit_fig11,
+        [(mix_name, {"mix": mix_name, "scale": scale,
+                     "memory_fraction": memory_fraction})
+         for mix_name in scale.mixes])
+    for output in outputs:
+        result.add_row(**output["row"])
     for system in COMPRESSED_SYSTEMS:
         result.summary[f"{system} cycle geomean"] = geometric_mean(
             [row[f"{system}:cycle"] for row in result.rows])
@@ -451,9 +573,39 @@ def run_fig11(scale: ExperimentScale = DEFAULT,
 # Fig. 12 — energy
 # ---------------------------------------------------------------------------
 
-def run_fig12(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
-    """DRAM/core energy relative to the uncompressed system."""
+def _unit_fig12(benchmark: str, scale: ExperimentScale) -> dict:
+    """Fig. 12 cell: relative DRAM/core energy for one benchmark."""
+    profile = PROFILES[benchmark]
     model = EnergyModel()
+    sim = scale.sim()
+    runs = {
+        system: simulate(profile, system, sim)
+        for system in ("uncompressed",) + COMPRESSED_SYSTEMS
+    }
+    energies = {}
+    for system, run in runs.items():
+        stats = None if system == "uncompressed" else run.controller_stats
+        energies[system] = model.evaluate(
+            run.cycles, run.dram_stats.reads, run.dram_stats.writes,
+            stats)
+    baseline = energies["uncompressed"]
+    row = {
+        "benchmark": profile.name,
+        "lcp:dram": model.relative(energies["lcp"], baseline)["dram"],
+        "lcp+align:dram": model.relative(
+            energies["lcp+align"], baseline)["dram"],
+        "compresso:dram": model.relative(
+            energies["compresso"], baseline)["dram"],
+        "compresso:core": model.relative(
+            energies["compresso"], baseline)["core"],
+    }
+    return {"row": row,
+            "stats": _stats_summary(runs["compresso"].controller_stats)}
+
+
+def run_fig12(scale: ExperimentScale = DEFAULT,
+              runner: Optional[Runner] = None) -> ExperimentResult:
+    """DRAM/core energy relative to the uncompressed system."""
     result = ExperimentResult(
         experiment_id="fig12",
         title="Energy relative to uncompressed system",
@@ -465,31 +617,12 @@ def run_fig12(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
             "compresso core": "equal to uncompressed",
         },
     )
-    sim = scale.sim()
-    for profile in _profiles(scale):
-        runs = {
-            system: simulate(profile, system, sim)
-            for system in ("uncompressed",) + COMPRESSED_SYSTEMS
-        }
-        energies = {}
-        for system, run in runs.items():
-            stats = None if system == "uncompressed" else run.controller_stats
-            energies[system] = model.evaluate(
-                run.cycles, run.dram_stats.reads, run.dram_stats.writes,
-                stats)
-        baseline = energies["uncompressed"]
-        result.add_row(
-            benchmark=profile.name,
-            **{
-                "lcp:dram": model.relative(energies["lcp"], baseline)["dram"],
-                "lcp+align:dram": model.relative(
-                    energies["lcp+align"], baseline)["dram"],
-                "compresso:dram": model.relative(
-                    energies["compresso"], baseline)["dram"],
-                "compresso:core": model.relative(
-                    energies["compresso"], baseline)["core"],
-            },
-        )
+    outputs = _run_units(
+        runner, "fig12", _unit_fig12,
+        [(name, {"benchmark": name, "scale": scale})
+         for name in scale.benchmarks])
+    for output in outputs:
+        result.add_row(**output["row"])
     for column in result.columns[1:]:
         result.summary[f"{column} mean"] = arithmetic_mean(
             result.column_values(column))
@@ -500,8 +633,47 @@ def run_fig12(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Tab. II — capacity sweep at 80/70/60%
 # ---------------------------------------------------------------------------
 
+def _unit_tab2(benchmark: str, scale: ExperimentScale,
+               fractions: Sequence[float]) -> dict:
+    """Tab. II cell: per-budget capacity factors for one benchmark.
+
+    The compression-ratio timelines are budget-independent, so each
+    benchmark simulates once and replays the paging model per budget.
+    """
+    profile = PROFILES[benchmark]
+    sim = scale.sim()
+    runs = {
+        system: simulate(profile, system, sim)
+        for system in ("lcp", "compresso")
+    }
+    timelines = {
+        system: run.ratio_timeline for system, run in runs.items()
+    }
+    budgets = []
+    for fraction in fractions:
+        capacity = capacity_impact(
+            profile, timelines,
+            CapacityConfig(
+                memory_fraction=fraction,
+                n_touches=scale.capacity_touches,
+                seed=scale.seed,
+                footprint_pages=min(scale.capacity_footprint_cap,
+                                    profile.footprint_pages),
+            ),
+        )
+        budgets.append({
+            "fraction": fraction,
+            "lcp": capacity.relative("lcp"),
+            "compresso": capacity.relative("compresso"),
+            "unconstrained": capacity.relative("unconstrained"),
+        })
+    return {"budgets": budgets,
+            "stats": _stats_summary(runs["compresso"].controller_stats)}
+
+
 def run_tab2(scale: ExperimentScale = DEFAULT,
-             fractions: Sequence[float] = (0.8, 0.7, 0.6)) -> ExperimentResult:
+             fractions: Sequence[float] = (0.8, 0.7, 0.6),
+             runner: Optional[Runner] = None) -> ExperimentResult:
     """Capacity-impact speedups vs constrained baseline, Tab. II shape."""
     result = ExperimentResult(
         experiment_id="tab2",
@@ -514,36 +686,19 @@ def run_tab2(scale: ExperimentScale = DEFAULT,
         notes=["benchmarks that stall (mcf, GemsFDTD, lbm) are excluded, "
                "as in the paper"],
     )
-    sim = scale.sim()
-    # Ratio timelines once per benchmark (budget-independent).
-    timelines = {}
-    for profile in _profiles(scale):
-        if profile.name in CAPACITY_STALLERS:
-            continue
-        runs = {
-            system: simulate(profile, system, sim)
-            for system in ("lcp", "compresso")
-        }
-        timelines[profile.name] = {
-            system: run.ratio_timeline for system, run in runs.items()
-        }
-    for fraction in fractions:
+    names = [name for name in scale.benchmarks
+             if name not in CAPACITY_STALLERS]
+    outputs = _run_units(
+        runner, "tab2", _unit_tab2,
+        [(name, {"benchmark": name, "scale": scale,
+                 "fractions": list(fractions)})
+         for name in names])
+    for index, fraction in enumerate(fractions):
         values = {"lcp": [], "compresso": [], "unconstrained": []}
-        for profile in _profiles(scale):
-            if profile.name not in timelines:
-                continue
-            capacity = capacity_impact(
-                profile, timelines[profile.name],
-                CapacityConfig(
-                    memory_fraction=fraction,
-                    n_touches=scale.capacity_touches,
-                    seed=scale.seed,
-                    footprint_pages=min(scale.capacity_footprint_cap,
-                                        profile.footprint_pages),
-                ),
-            )
+        for output in outputs:
+            budget = output["budgets"][index]
             for system in values:
-                values[system].append(capacity.relative(system))
+                values[system].append(budget[system])
         result.add_row(
             budget=f"{int(fraction * 100)}%",
             **{system: arithmetic_mean(vals)
@@ -556,7 +711,59 @@ def run_tab2(scale: ExperimentScale = DEFAULT,
 # §IV-A design-space ablations
 # ---------------------------------------------------------------------------
 
-def run_ablation_design_space(scale: ExperimentScale = DEFAULT
+_ABLATION_BIN_SETS = {
+    "4-bins-aligned (0/8/32/64)": ALIGNMENT_FRIENDLY_LINE_BINS,
+    "4-bins-prior (0/22/44/64)": PRIOR_WORK_LINE_BINS,
+    "8-bins (0/8/16/24/32/40/52/64)": EIGHT_LINE_BINS,
+}
+
+
+def _unit_ablation(label: str, scale: ExperimentScale) -> dict:
+    """Ablation cell: ratio/overflow/split numbers for one bin set."""
+    bins = _ABLATION_BIN_SETS[label]
+    bpc = BPCCompressor()
+    cache: Dict[bytes, int] = {}
+
+    # Static part: pack page images across the suite under this bin set.
+    page_sizes: List[List[int]] = []
+    for profile in _profiles(scale):
+        workload = Workload(profile, scale=scale.scale, seed=scale.seed)
+        for page in range(min(workload.pages, scale.fig2_pages // 2)):
+            page_sizes.append(
+                [_line_size(bpc, cache, line)
+                 for line in workload.page_lines(page)])
+
+    packer = LinePack(bins)
+    raw = allocated = 0
+    for sizes in page_sizes:
+        layout = packer.pack(sizes)
+        raw += 4096
+        if layout.total_bytes:
+            allocated += max(512, (layout.total_bytes + 511) // 512 * 512)
+
+    # Dynamic part: line-overflow frequency under this bin set, from the
+    # gcc profile's overwrite phases (the overflow-heavy workload).
+    config = compresso_config(
+        line_bins=bins,
+        enable_overflow_prediction=False,
+        enable_ir_expansion=False,
+        enable_metadata_half_entries=False,
+    )
+    run = _simulate_with_config(PROFILES["gcc"], config, scale)
+    stats = run.controller_stats
+    overflow_rate = stats.line_overflows / max(1, stats.demand_writes)
+    flat_sizes = [s for sizes in page_sizes for s in sizes]
+    row = {
+        "config": label,
+        "ratio": raw / allocated if allocated else 64.0,
+        "line_overflow_rate": overflow_rate,
+        "split_fraction": split_access_fraction(flat_sizes, bins),
+    }
+    return {"row": row, "stats": _stats_summary(stats)}
+
+
+def run_ablation_design_space(scale: ExperimentScale = DEFAULT,
+                              runner: Optional[Runner] = None
                               ) -> ExperimentResult:
     """Line-bin count, bin placement, and page-size trade-offs (§IV-A)."""
     result = ExperimentResult(
@@ -569,57 +776,12 @@ def run_ablation_design_space(scale: ExperimentScale = DEFAULT
             "alignment bins": "splits 30.9% -> 3.2% for -0.25% compression",
         },
     )
-    bin_sets = {
-        "4-bins-aligned (0/8/32/64)": ALIGNMENT_FRIENDLY_LINE_BINS,
-        "4-bins-prior (0/22/44/64)": PRIOR_WORK_LINE_BINS,
-        "8-bins (0/8/16/24/32/40/52/64)": EIGHT_LINE_BINS,
-    }
-    bpc = BPCCompressor()
-    cache: Dict[bytes, int] = {}
-
-    def size_of(line: bytes) -> int:
-        if is_zero_line(line):
-            return 0
-        size = cache.get(line)
-        if size is None:
-            size = min(bpc.compress(line).size_bytes, 64)
-            cache[line] = size
-        return size
-
-    # Static part: pack page images under each bin set.
-    page_sizes: List[List[int]] = []
-    for profile in _profiles(scale):
-        workload = Workload(profile, scale=scale.scale, seed=scale.seed)
-        for page in range(min(workload.pages, scale.fig2_pages // 2)):
-            page_sizes.append(
-                [size_of(line) for line in workload.page_lines(page)])
-
-    # Dynamic part: line-overflow frequency under each bin set, from the
-    # gcc profile's overwrite phases (the overflow-heavy workload).
-    for label, bins in bin_sets.items():
-        packer = LinePack(bins)
-        raw = allocated = 0
-        for sizes in page_sizes:
-            layout = packer.pack(sizes)
-            raw += 4096
-            if layout.total_bytes:
-                allocated += max(512, (layout.total_bytes + 511) // 512 * 512)
-        config = compresso_config(
-            line_bins=bins,
-            enable_overflow_prediction=False,
-            enable_ir_expansion=False,
-            enable_metadata_half_entries=False,
-        )
-        run = _simulate_with_config(PROFILES["gcc"], config, scale)
-        stats = run.controller_stats
-        overflow_rate = stats.line_overflows / max(1, stats.demand_writes)
-        flat_sizes = [s for sizes in page_sizes for s in sizes]
-        result.add_row(
-            config=label,
-            ratio=raw / allocated if allocated else 64.0,
-            line_overflow_rate=overflow_rate,
-            split_fraction=split_access_fraction(flat_sizes, bins),
-        )
+    outputs = _run_units(
+        runner, "ablation", _unit_ablation,
+        [(label.split(" ")[0], {"label": label, "scale": scale})
+         for label in _ABLATION_BIN_SETS])
+    for output in outputs:
+        result.add_row(**output["row"])
     return result
 
 
@@ -627,12 +789,35 @@ def run_ablation_design_space(scale: ExperimentScale = DEFAULT
 # §VII-C/D/E — energy and area overheads, offset-calculation circuit
 # ---------------------------------------------------------------------------
 
-def run_sec7_energy_area() -> ExperimentResult:
-    """Analytic overhead numbers the paper states in §VII-C/D/E."""
+def _unit_sec7() -> dict:
+    """§VII cell: the analytic overhead numbers (no workload input)."""
     constants = EnergyConstants()
     fractions = constants.sanity_fractions()
     area = AreaReport()
     adder = offset_adder_for_bins(ALIGNMENT_FRIENDLY_LINE_BINS)
+    rows = [
+        {"quantity": "bpc_vs_channel_power",
+         "value": fractions["bpc_vs_channel_power"]},
+        {"quantity": "metadata_vs_dram_read",
+         "value": fractions["metadata_vs_dram_read"]},
+        {"quantity": "bpc_area_um2", "value": area.bpc_um2},
+        {"quantity": "metadata_cache_area_um2",
+         "value": area.metadata_cache_um2},
+        {"quantity": "total_area_mm2", "value": area.total_mm2},
+        {"quantity": "adder_nand_gates", "value": float(adder.nand_gates)},
+        {"quantity": "adder_gate_delays_naive",
+         "value": float(adder.gate_delays_naive)},
+        {"quantity": "adder_gate_delays_optimized",
+         "value": float(adder.gate_delays_optimized)},
+        {"quantity": "adder_visible_cycles",
+         "value": float(adder.visible_cycles())},
+    ]
+    return {"rows": rows}
+
+
+def run_sec7_energy_area(runner: Optional[Runner] = None
+                         ) -> ExperimentResult:
+    """Analytic overhead numbers the paper states in §VII-C/D/E."""
     result = ExperimentResult(
         experiment_id="sec7",
         title="Energy/area overheads and the offset-calculation circuit",
@@ -645,19 +830,7 @@ def run_sec7_energy_area() -> ExperimentResult:
                             "1 visible cycle at DDR4-2666",
         },
     )
-    result.add_row(quantity="bpc_vs_channel_power",
-                   value=fractions["bpc_vs_channel_power"])
-    result.add_row(quantity="metadata_vs_dram_read",
-                   value=fractions["metadata_vs_dram_read"])
-    result.add_row(quantity="bpc_area_um2", value=area.bpc_um2)
-    result.add_row(quantity="metadata_cache_area_um2",
-                   value=area.metadata_cache_um2)
-    result.add_row(quantity="total_area_mm2", value=area.total_mm2)
-    result.add_row(quantity="adder_nand_gates", value=float(adder.nand_gates))
-    result.add_row(quantity="adder_gate_delays_naive",
-                   value=float(adder.gate_delays_naive))
-    result.add_row(quantity="adder_gate_delays_optimized",
-                   value=float(adder.gate_delays_optimized))
-    result.add_row(quantity="adder_visible_cycles",
-                   value=float(adder.visible_cycles()))
+    outputs = _run_units(runner, "sec7", _unit_sec7, [("analytic", {})])
+    for row in outputs[0]["rows"]:
+        result.add_row(**row)
     return result

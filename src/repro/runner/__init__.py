@@ -1,0 +1,44 @@
+"""Parallel experiment runner: work units, result cache, run journal.
+
+The experiment matrix behind every paper artifact (Figs. 2-12, Tab. II)
+is embarrassingly parallel: each (benchmark, system, config) cell is an
+independent deterministic computation.  This package decomposes the
+:mod:`repro.analysis.experiments` runners into :class:`WorkUnit` cells
+and provides:
+
+* :class:`Runner` — fans units out over ``multiprocessing`` (``jobs=1``
+  preserves the historical deterministic serial path),
+* :class:`ResultCache` — a content-addressed JSON store under
+  ``.repro_cache/`` keyed by (unit name, canonical params, code
+  version), so regeneration only recomputes invalidated cells,
+* :class:`RunJournal` — structured per-unit events appended to
+  ``runs.jsonl`` plus an end-of-run timing table.
+
+See ``docs/RUNNER.md`` for the CLI, cache layout, invalidation rules
+and the journal event schema.
+"""
+
+from .cache import ResultCache
+from .executor import Runner, UnitRecord, timing_table
+from .journal import (
+    EVENT_SCHEMA,
+    RunJournal,
+    read_journal,
+    validate_event,
+)
+from .units import WorkUnit, canonical, code_version, unit_key
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "ResultCache",
+    "RunJournal",
+    "Runner",
+    "UnitRecord",
+    "WorkUnit",
+    "canonical",
+    "code_version",
+    "read_journal",
+    "timing_table",
+    "unit_key",
+    "validate_event",
+]

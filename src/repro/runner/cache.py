@@ -1,0 +1,81 @@
+"""Content-addressed result cache persisted as JSON under ``.repro_cache/``.
+
+Each cached cell is one file named ``<sha256>.json`` holding the unit
+name, its canonical params, the code version, and the result payload.
+Keys come from :func:`repro.runner.units.unit_key`; because the key
+covers (config fields, trace seed, code version), invalidation is
+automatic — a stale key is simply never looked up again and the file
+becomes garbage that ``clear()`` or deleting the directory reclaims.
+
+Writes are atomic (tmp file + ``os.replace``) so parallel workers and
+concurrent runs never observe a torn cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from .units import WorkUnit, canonical, code_version
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class ResultCache:
+    """JSON file store mapping unit keys to experiment cell results."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached result for ``key``, or None on miss.
+
+        A corrupt or half-written legacy file counts as a miss; the
+        next ``put`` overwrites it.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        return payload["result"]
+
+    def put(self, key: str, unit: WorkUnit, result: Any) -> None:
+        """Persist ``result`` for ``key`` atomically."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "unit": unit.fn.__name__,
+            "experiment": unit.experiment,
+            "label": unit.label,
+            "params": canonical(dict(unit.params)),
+            "code_version": code_version(),
+            "created": time.time(),
+            "result": result,
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cached cell; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,183 @@
+"""Parallel executor: fan work units out over ``multiprocessing``.
+
+``Runner.map`` preserves submission order in its results regardless of
+completion order, normalizes every fresh result through a JSON
+round-trip (so cold, warm and parallel runs return byte-identical
+payloads), consults the :class:`~repro.runner.cache.ResultCache`
+before computing, and emits ``unit_start``/``unit_end`` journal events
+plus a live progress line.  ``jobs=1`` executes inline in the parent
+process — the historical deterministic serial path, with no pool and
+no pickling.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+from .journal import RunJournal
+from .units import WorkUnit
+
+
+@dataclass
+class UnitRecord:
+    """Timing/caching record for one executed (or cache-served) unit."""
+
+    label: str
+    experiment: str
+    key: Optional[str]
+    cached: bool
+    wall_s: float
+
+
+def _execute(payload: Tuple[int, Any, Dict[str, Any]]):
+    """Worker entry point: run one unit function, timing it."""
+    index, fn, params = payload
+    started = time.perf_counter()
+    result = fn(**params)
+    return index, result, time.perf_counter() - started
+
+
+class Runner:
+    """Schedules work units serially or across a process pool."""
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 journal: Optional[RunJournal] = None,
+                 progress: bool = False) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.journal = journal
+        self.progress = progress
+        self.records: List[UnitRecord] = []
+
+    # -- public API -------------------------------------------------------
+
+    def map(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """Run every unit, returning results in submission order."""
+        units = list(units)
+        results: List[Any] = [None] * len(units)
+        # Keys are only needed when a cache or journal observes them.
+        need_keys = self.cache is not None or self.journal is not None
+        keys = [unit.key() if need_keys else None for unit in units]
+
+        started = time.perf_counter()
+        base = len(self.records)
+        done = 0
+        pending: List[Tuple[int, WorkUnit, Optional[str]]] = []
+        for index, unit in enumerate(units):
+            key = keys[index]
+            hit = self.cache.get(key) if (self.cache is not None) else None
+            self._journal_start(unit, key, cached=hit is not None)
+            if hit is not None:
+                results[index] = hit
+                self._finish(unit, key, hit, wall_s=0.0, cached=True)
+                done += 1
+                self._progress_line(units, done, started, base)
+            else:
+                pending.append((index, unit, key))
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for index, unit, key in pending:
+                unit_started = time.perf_counter()
+                result = self._normalize(unit.run())
+                wall = time.perf_counter() - unit_started
+                results[index] = result
+                self._store(unit, key, result)
+                self._finish(unit, key, result, wall_s=wall, cached=False)
+                done += 1
+                self._progress_line(units, done, started, base)
+        else:
+            by_index = {index: (unit, key) for index, unit, key in pending}
+            jobs = min(self.jobs, len(pending))
+            payloads = [(index, unit.fn, dict(unit.params))
+                        for index, unit, _ in pending]
+            with multiprocessing.Pool(processes=jobs) as pool:
+                for index, result, wall in pool.imap_unordered(
+                        _execute, payloads):
+                    unit, key = by_index[index]
+                    result = self._normalize(result)
+                    results[index] = result
+                    self._store(unit, key, result)
+                    self._finish(unit, key, result, wall_s=wall,
+                                 cached=False)
+                    done += 1
+                    self._progress_line(units, done, started, base)
+        self._progress_end(units)
+        return results
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.records if record.cached)
+
+    # -- internals --------------------------------------------------------
+
+    @staticmethod
+    def _normalize(result: Any) -> Any:
+        """JSON round-trip so fresh and cached results are identical."""
+        return json.loads(json.dumps(result))
+
+    def _store(self, unit: WorkUnit, key: Optional[str],
+               result: Any) -> None:
+        if self.cache is not None and key is not None:
+            self.cache.put(key, unit, result)
+
+    def _journal_start(self, unit: WorkUnit, key: Optional[str],
+                       cached: bool) -> None:
+        if self.journal is not None:
+            self.journal.event("unit_start", unit=unit.label,
+                               experiment=unit.experiment, key=key,
+                               cached=cached)
+
+    def _finish(self, unit: WorkUnit, key: Optional[str], result: Any,
+                wall_s: float, cached: bool) -> None:
+        self.records.append(UnitRecord(
+            label=unit.label, experiment=unit.experiment, key=key,
+            cached=cached, wall_s=wall_s))
+        if self.journal is not None:
+            fields: Dict[str, Any] = dict(
+                unit=unit.label, experiment=unit.experiment, key=key,
+                cached=cached, wall_s=wall_s, ok=True)
+            if isinstance(result, dict) and isinstance(
+                    result.get("stats"), dict):
+                fields["stats"] = result["stats"]
+            self.journal.event("unit_end", **fields)
+
+    def _progress_line(self, units: Sequence[WorkUnit], done: int,
+                       started: float, base: int) -> None:
+        if not self.progress or not units:
+            return
+        hits = sum(1 for record in self.records[base:] if record.cached)
+        elapsed = time.perf_counter() - started
+        sys.stderr.write(
+            f"\r[{units[0].experiment}] {done}/{len(units)} units "
+            f"({hits} cached) {elapsed:.1f}s")
+        sys.stderr.flush()
+
+    def _progress_end(self, units: Sequence[WorkUnit]) -> None:
+        if self.progress and units:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+def timing_table(records: Sequence[UnitRecord]) -> str:
+    """End-of-run timing table: slowest units first, totals last."""
+    lines = ["== run timing =="]
+    width = max([len(r.label) for r in records], default=10)
+    width = max(width, len("unit"))
+    lines.append(f"{'unit':<{width}}  {'wall_s':>8}  cache")
+    lines.append("-" * (width + 18))
+    for record in sorted(records, key=lambda r: r.wall_s, reverse=True):
+        source = "hit" if record.cached else "miss"
+        lines.append(
+            f"{record.label:<{width}}  {record.wall_s:>8.2f}  {source}")
+    total = sum(record.wall_s for record in records)
+    hits = sum(1 for record in records if record.cached)
+    lines.append("-" * (width + 18))
+    lines.append(f"{len(records)} units, {hits} cache hits, "
+                 f"{total:.2f}s total unit wall time")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Run journal: structured per-unit events appended to ``runs.jsonl``.
+
+Every runner invocation gets a ``run_id``; every work unit produces a
+``unit_start`` / ``unit_end`` event pair.  Events are one JSON object
+per line, append-only, so successive runs accumulate into a durable
+history that tooling can tail or aggregate.
+
+Event schema (see also docs/RUNNER.md):
+
+==============  =====================================================
+event           required fields (beyond ``event``, ``run_id``, ``ts``)
+==============  =====================================================
+``run_start``   ``jobs`` (int), ``cache_enabled`` (bool)
+``unit_start``  ``unit`` (str), ``experiment`` (str), ``key`` (str or
+                null), ``cached`` (bool)
+``unit_end``    ``unit``, ``experiment``, ``key``, ``cached``,
+                ``wall_s`` (float), ``ok`` (bool)
+``run_end``     ``wall_s`` (float), ``units`` (int), ``cache_hits``
+                (int)
+==============  =====================================================
+
+``unit_end`` additionally carries ``stats`` (a ControllerStats summary
+dict) when the unit reports one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+DEFAULT_JOURNAL_PATH = "runs.jsonl"
+
+#: event type -> {field name: required type(s)} beyond the common trio.
+EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
+    "run_start": {"jobs": (int,), "cache_enabled": (bool,)},
+    "unit_start": {"unit": (str,), "experiment": (str,),
+                   "key": (str, type(None)), "cached": (bool,)},
+    "unit_end": {"unit": (str,), "experiment": (str,),
+                 "key": (str, type(None)), "cached": (bool,),
+                 "wall_s": (int, float), "ok": (bool,)},
+    "run_end": {"wall_s": (int, float), "units": (int,),
+                "cache_hits": (int,)},
+}
+
+_COMMON_FIELDS = {"event": (str,), "run_id": (str,), "ts": (int, float)}
+
+
+class RunJournal:
+    """Append-only JSONL event log for one (or more) runner invocations."""
+
+    def __init__(self, path: str | Path = DEFAULT_JOURNAL_PATH,
+                 run_id: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+
+    def event(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the record written."""
+        record = {"event": event, "run_id": self.run_id,
+                  "ts": time.time(), **fields}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+
+def validate_event(record: Any) -> List[str]:
+    """Return a list of schema problems for one journal record (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is not an object: {record!r}"]
+    for name, types in _COMMON_FIELDS.items():
+        if name not in record:
+            problems.append(f"missing field {name!r}")
+        elif not isinstance(record[name], types):
+            problems.append(f"field {name!r} has type "
+                            f"{type(record[name]).__name__}")
+    event = record.get("event")
+    if event not in EVENT_SCHEMA:
+        problems.append(f"unknown event type {event!r}")
+        return problems
+    for name, types in EVENT_SCHEMA[event].items():
+        if name not in record:
+            problems.append(f"{event}: missing field {name!r}")
+        elif not isinstance(record[name], types):
+            problems.append(f"{event}: field {name!r} has type "
+                            f"{type(record[name]).__name__}")
+    return problems
+
+
+def read_journal(path: str | Path) -> List[Dict[str, Any]]:
+    """Parse every event in a ``runs.jsonl`` file (skipping blank lines)."""
+    records: List[Dict[str, Any]] = []
+    text = Path(path).read_text()
+    for line in text.splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records

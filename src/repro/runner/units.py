@@ -1,0 +1,93 @@
+"""Work units and content-addressed cache keys.
+
+A :class:`WorkUnit` is the runner's unit of scheduling, caching and
+journaling: one module-level function (picklable, so it crosses the
+``multiprocessing`` boundary by reference) plus JSON-serializable
+keyword arguments.  Its cache key is a SHA-256 over the canonicalized
+(function name, params, code version) triple, so any change to an
+experiment config dataclass field, the trace seed, or the source tree
+invalidates exactly the affected cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-serializable form.
+
+    Dataclasses become dicts tagged with their type name (so two config
+    classes with identical fields do not collide), mappings are
+    key-sorted, and tuples become lists.  Raises ``TypeError`` for
+    anything that would not round-trip through JSON — unit params must
+    be plain data.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {"__dataclass__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = canonical(getattr(value, f.name))
+        return out
+    if isinstance(value, Mapping):
+        return {str(key): canonical(value[key])
+                for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    raise TypeError(
+        f"work-unit params must be JSON-serializable data, got "
+        f"{type(value).__name__}: {value!r}"
+    )
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hash of every ``.py`` file under ``src/repro`` (the code key).
+
+    Computed once per process; editing any source file invalidates the
+    whole cache, which is the conservative (always-correct) rule.
+    """
+    root = Path(__file__).resolve().parent.parent   # src/repro
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class WorkUnit:
+    """One independent (benchmark, system, config) experiment cell."""
+
+    experiment: str                 # owning experiment id, e.g. "fig10"
+    label: str                      # display label, e.g. "fig10/gcc"
+    fn: Callable[..., Any]          # module-level unit function
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def key(self) -> str:
+        return unit_key(self.fn.__name__, self.params)
+
+    def run(self) -> Any:
+        return self.fn(**dict(self.params))
+
+
+def unit_key(fn_name: str, params: Mapping[str, Any],
+             code: str | None = None) -> str:
+    """Content-addressed cache key for a unit invocation."""
+    payload = {
+        "unit": fn_name,
+        "params": canonical(dict(params)),
+        "code": code if code is not None else code_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,14 @@
+"""Wire the docs lint (scripts/check_docs.py) into the test run."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_check_docs_passes():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_docs.py")],
+        capture_output=True, text=True, cwd=ROOT)
+    assert proc.returncode == 0, proc.stderr or proc.stdout

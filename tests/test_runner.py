@@ -1,0 +1,197 @@
+"""Tests for the parallel experiment runner, cache and journal."""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentScale, run_fig2
+from repro.runner import (
+    ResultCache,
+    RunJournal,
+    Runner,
+    WorkUnit,
+    canonical,
+    read_journal,
+    timing_table,
+    unit_key,
+    validate_event,
+)
+
+TINY = ExperimentScale(n_events=400, scale=0.02, capacity_touches=2000,
+                       capacity_footprint_cap=60, fig2_pages=6,
+                       benchmarks=("gcc", "mcf"), mixes=("mix2",))
+
+
+def _double(x):
+    """Module-level so it pickles across the multiprocessing boundary."""
+    return {"row": {"x": x * 2}}
+
+
+def _touch(counter_file, x):
+    """Unit that records each real execution in a side-effect file."""
+    with open(counter_file, "a") as handle:
+        handle.write(f"{x}\n")
+    return {"row": {"x": x}, "stats": {"demand_accesses": x}}
+
+
+def _unit(fn, params, label="u"):
+    return WorkUnit(experiment="test", label=f"test/{label}", fn=fn,
+                    params=params)
+
+
+class TestKeys:
+    def test_key_is_stable(self):
+        a = unit_key("f", {"benchmark": "gcc", "scale": TINY})
+        b = unit_key("f", {"scale": TINY, "benchmark": "gcc"})
+        assert a == b
+
+    def test_key_changes_with_config_field(self):
+        base = unit_key("f", {"scale": TINY})
+        reseeded = unit_key("f", {"scale": replace(TINY, seed=2)})
+        rescaled = unit_key("f", {"scale": replace(TINY, n_events=401)})
+        assert base != reseeded
+        assert base != rescaled
+        assert reseeded != rescaled
+
+    def test_key_changes_with_unit_name(self):
+        assert unit_key("f", {"x": 1}) != unit_key("g", {"x": 1})
+
+    def test_canonical_rejects_non_data(self):
+        with pytest.raises(TypeError):
+            canonical({"fn": lambda: None})
+
+    def test_canonical_tuples_and_dataclasses(self):
+        value = canonical({"scale": TINY, "pair": (1, 2)})
+        assert value["pair"] == [1, 2]
+        assert value["scale"]["__dataclass__"] == "ExperimentScale"
+        json.dumps(value)    # must be JSON-serializable
+
+
+class TestCache:
+    def test_hit_miss_roundtrip(self, tmp_path):
+        counter = tmp_path / "calls.txt"
+        cache = ResultCache(tmp_path / "cache")
+        units = [_unit(_touch, {"counter_file": str(counter), "x": 7})]
+
+        cold = Runner(cache=cache).map(units)
+        assert counter.read_text().splitlines() == ["7"]
+        warm = Runner(cache=cache).map(units)
+        # Second invocation is served from the cache: no new execution,
+        # byte-identical result.
+        assert counter.read_text().splitlines() == ["7"]
+        assert json.dumps(cold) == json.dumps(warm)
+        assert len(cache) == 1
+
+    def test_param_change_invalidates(self, tmp_path):
+        counter = tmp_path / "calls.txt"
+        cache = ResultCache(tmp_path / "cache")
+        runner = Runner(cache=cache)
+        runner.map([_unit(_touch, {"counter_file": str(counter), "x": 1})])
+        runner.map([_unit(_touch, {"counter_file": str(counter), "x": 2})])
+        assert counter.read_text().splitlines() == ["1", "2"]
+        assert len(cache) == 2
+
+    def test_config_dataclass_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key_a = unit_key("f", {"scale": TINY})
+        key_b = unit_key("f", {"scale": replace(TINY, seed=99)})
+        cache.put(key_a, _unit(_double, {"x": 1}), {"row": {"x": 2}})
+        assert cache.get(key_a) == {"row": {"x": 2}}
+        assert cache.get(key_b) is None
+
+    def test_corrupt_cell_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = unit_key("f", {"x": 1})
+        cache.put(key, _unit(_double, {"x": 1}), {"row": {"x": 2}})
+        (tmp_path / "cache" / f"{key}.json").write_text("{ torn")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(unit_key("f", {"x": 1}), _unit(_double, {"x": 1}), {})
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestParallel:
+    def test_results_in_submission_order(self):
+        units = [_unit(_double, {"x": x}, label=str(x))
+                 for x in (5, 3, 9, 1, 7)]
+        results = Runner(jobs=4).map(units)
+        assert [r["row"]["x"] for r in results] == [10, 6, 18, 2, 14]
+
+    def test_jobs1_vs_jobs4_identical_experiment(self):
+        serial = run_fig2(TINY, runner=Runner(jobs=1))
+        parallel = run_fig2(TINY, runner=Runner(jobs=4))
+        assert json.dumps(serial.rows) == json.dumps(parallel.rows)
+        assert json.dumps(serial.summary) == json.dumps(parallel.summary)
+
+    def test_parallel_populates_cache_serial_reads_it(self, tmp_path):
+        counter = tmp_path / "calls.txt"
+        cache = ResultCache(tmp_path / "cache")
+        units = [_unit(_touch, {"counter_file": str(counter), "x": x},
+                       label=str(x)) for x in range(3)]
+        first = Runner(jobs=3, cache=cache).map(units)
+        second = Runner(jobs=1, cache=cache).map(units)
+        assert json.dumps(first) == json.dumps(second)
+        assert sorted(counter.read_text().splitlines()) == ["0", "1", "2"]
+
+
+class TestJournal:
+    def _run(self, tmp_path, jobs=1, cache=None):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        counter = tmp_path / "calls.txt"
+        units = [_unit(_touch, {"counter_file": str(counter), "x": x},
+                       label=str(x)) for x in range(3)]
+        Runner(jobs=jobs, cache=cache, journal=journal).map(units)
+        return read_journal(tmp_path / "runs.jsonl")
+
+    def test_event_pair_per_unit(self, tmp_path):
+        events = self._run(tmp_path)
+        starts = [e for e in events if e["event"] == "unit_start"]
+        ends = [e for e in events if e["event"] == "unit_end"]
+        assert len(starts) == len(ends) == 3
+        # Every start is matched by an end for the same unit key.
+        assert ({(e["unit"], e["key"]) for e in starts}
+                == {(e["unit"], e["key"]) for e in ends})
+
+    def test_events_validate_against_schema(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        events = self._run(tmp_path, jobs=2, cache=cache)
+        for event in events:
+            assert validate_event(event) == [], event
+
+    def test_cache_hits_are_journaled(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self._run(tmp_path, cache=cache)
+        events = self._run(tmp_path, cache=cache)
+        warm_ends = [e for e in events if e["event"] == "unit_end"][3:]
+        assert warm_ends and all(e["cached"] for e in warm_ends)
+
+    def test_stats_summary_attached(self, tmp_path):
+        events = self._run(tmp_path)
+        ends = [e for e in events if e["event"] == "unit_end"]
+        assert all(e["stats"]["demand_accesses"] == int(e["unit"].split("/")[1])
+                   for e in ends)
+
+    def test_validate_event_flags_problems(self):
+        assert validate_event({"event": "nope"})
+        assert validate_event([1, 2])
+        missing = validate_event(
+            {"event": "unit_end", "run_id": "r", "ts": 0.0})
+        assert any("wall_s" in problem for problem in missing)
+
+
+class TestTimingTable:
+    def test_table_lists_units_and_totals(self, tmp_path):
+        counter = tmp_path / "calls.txt"
+        runner = Runner(cache=ResultCache(tmp_path / "cache"))
+        units = [_unit(_touch, {"counter_file": str(counter), "x": x},
+                       label=str(x)) for x in range(2)]
+        runner.map(units)
+        runner.map(units)
+        text = timing_table(runner.records)
+        assert "test/0" in text and "test/1" in text
+        assert "4 units, 2 cache hits" in text
