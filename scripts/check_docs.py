@@ -27,7 +27,8 @@ from typing import List
 ROOT = Path(__file__).resolve().parent.parent
 
 #: Markdown files whose relative links must resolve.
-DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md")
+DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
+        "docs/OBSERVABILITY.md")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE = re.compile(r"```.*?```", re.DOTALL)

@@ -1,12 +1,19 @@
 """Command-line experiment runner.
 
-Two forms.  The ``run`` subcommand is the documented interface
+Three forms.  The ``run`` subcommand is the documented interface
 (docs/RUNNER.md): parallel execution, content-addressed result caching
 under ``.repro_cache/``, and a ``runs.jsonl`` run journal::
 
     python -m repro.analysis run --jobs 4 --scale quick
     python -m repro.analysis run --filter fig10 --filter tab2
     python -m repro.analysis run --no-cache --jobs 1 --scale default
+    python -m repro.analysis run --filter fig4 --trace-window 1000
+
+The ``trace`` subcommand (docs/OBSERVABILITY.md) runs one traced
+simulation per matching benchmark and exports the event stream::
+
+    python -m repro.analysis trace --filter gcc --out trace.json
+    python -m repro.analysis trace --filter mcf --window 500 --csv tl.csv
 
 The legacy positional form still works and behaves exactly as before
 (serial, no cache, no journal)::
@@ -21,8 +28,10 @@ paper's stated reference values attached.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
+from pathlib import Path
 
 from . import (
     DEFAULT,
@@ -93,6 +102,10 @@ def _run_command(argv) -> int:
                              "(repeatable; default: all)")
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick",
                         help="problem size (default: quick)")
+    parser.add_argument("--trace-window", type=int, default=None, metavar="N",
+                        help="trace cycle-based units and journal a "
+                             "timeline digest with N-access windows "
+                             "(default: tracing off)")
     args = parser.parse_args(argv)
 
     names = list(RUNNERS)
@@ -107,13 +120,16 @@ def _run_command(argv) -> int:
     journal = RunJournal(args.journal) if args.journal else None
     runner = Runner(jobs=args.jobs, cache=cache, journal=journal,
                     progress=True)
+    scale = SCALES[args.scale]
+    if args.trace_window:
+        scale = dataclasses.replace(scale, trace_window=args.trace_window)
     started = time.time()
     if journal is not None:
         journal.event("run_start", jobs=runner.jobs,
                       cache_enabled=cache is not None,
                       experiments=names, scale=args.scale)
     for name in names:
-        result = _invoke(name, SCALES[args.scale], runner)
+        result = _invoke(name, scale, runner)
         print(render(result))
         print()
     if journal is not None:
@@ -121,6 +137,82 @@ def _run_command(argv) -> int:
                       units=len(runner.records),
                       cache_hits=runner.cache_hits)
     print(timing_table(runner.records))
+    return 0
+
+
+def _trace_command(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis trace",
+        description="Run traced simulations and export the event stream "
+                    "(docs/OBSERVABILITY.md).",
+    )
+    parser.add_argument("--filter", action="append", default=[],
+                        metavar="PATTERN",
+                        help="only benchmarks whose name contains PATTERN "
+                             "(repeatable; default: gcc)")
+    parser.add_argument("--system", default="compresso",
+                        help="system configuration to trace "
+                             "(default: compresso)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick",
+                        help="problem size (default: quick)")
+    parser.add_argument("--window", type=int, default=1000, metavar="N",
+                        help="timeline window in demand accesses "
+                             "(default: 1000)")
+    parser.add_argument("--events", type=int, default=None, metavar="N",
+                        help="simulate N trace events (overrides the "
+                             "scale preset)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write Chrome trace-event JSON here "
+                             "(load in Perfetto / chrome://tracing)")
+    parser.add_argument("--csv", default=None, metavar="PATH",
+                        help="write the windowed timeline as CSV here")
+    args = parser.parse_args(argv)
+    if args.window <= 0:
+        parser.error("--window must be positive")
+
+    from ..obs import (
+        Tracer,
+        build_timeline,
+        summary,
+        timeline_csv,
+        write_chrome_trace,
+    )
+    from ..simulation.simulator import simulate
+    from ..workloads.profiles import PROFILES
+
+    patterns = args.filter or ["gcc"]
+    names = [name for name in PROFILES
+             if any(pattern in name for pattern in patterns)]
+    if not names:
+        parser.error(f"no benchmark matches {patterns}; "
+                     f"known: {sorted(PROFILES)}")
+
+    scale = SCALES[args.scale]
+    sim = scale.sim(**({"n_events": args.events} if args.events else {}))
+
+    def _suffixed(path: str, name: str) -> Path:
+        base = Path(path)
+        if len(names) == 1:
+            return base
+        return base.with_name(f"{base.stem}.{name}{base.suffix}")
+
+    for name in names:
+        tracer = Tracer(digest_window=args.window)
+        result = simulate(PROFILES[name], args.system, sim, tracer=tracer)
+        stats = result.controller_stats
+        print(f"== trace: {name} / {args.system} ==")
+        print(summary(tracer, stats=stats, window=args.window))
+        if args.out:
+            path = _suffixed(args.out, name)
+            write_chrome_trace(tracer, path, window=args.window)
+            print(f"chrome trace written to {path}")
+        if args.csv:
+            path = _suffixed(args.csv, name)
+            windows = build_timeline(tracer.events, args.window,
+                                     end_clock=tracer.clock)
+            Path(path).write_text(timeline_csv(windows))
+            print(f"timeline CSV written to {path}")
+        print()
     return 0
 
 
@@ -156,6 +248,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "run":
         return _run_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
     return _legacy_command(argv)
 
 

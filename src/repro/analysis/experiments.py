@@ -38,6 +38,7 @@ from ..core.linepack import LinePack, split_access_fraction
 from ..core.stats import ControllerStats
 from ..energy.area import AdderModel, AreaReport, offset_adder_for_bins
 from ..energy.model import EnergyConstants, EnergyModel
+from ..obs import Tracer
 from ..runner import Runner, WorkUnit
 from ..simulation.capacity import (
     CapacityConfig,
@@ -77,6 +78,10 @@ class ExperimentScale:
     fig2_pages: int = 80                # pages sampled per benchmark
     benchmarks: Sequence[str] = BENCHMARK_ORDER
     mixes: Sequence[str] = MIX_ORDER
+    #: When set, cycle-based units run with a :class:`repro.obs.Tracer`
+    #: and journal a windowed timeline digest (this many demand accesses
+    #: per window).  ``None`` keeps the zero-overhead null tracer.
+    trace_window: Optional[int] = None
 
     def sim(self, **overrides) -> SimulationConfig:
         defaults = dict(n_events=self.n_events, scale=self.scale,
@@ -117,6 +122,7 @@ def _stats_summary(stats: ControllerStats) -> Dict[str, Any]:
         "demand_accesses": stats.demand_accesses,
         "extra_accesses": stats.extra_accesses,
         "relative_extra_accesses": stats.relative_extra_accesses(),
+        "metadata_lookups": stats.metadata_lookups,
         "metadata_hit_rate": stats.metadata_hit_rate(),
     }
 
@@ -210,16 +216,21 @@ def _unit_fig4(benchmark: str, scale: ExperimentScale) -> dict:
     configs = chunk_vs_variable_configs()
     row: Dict[str, Any] = {"benchmark": profile.name}
     stats = None
+    timeline = None
     for label, config in configs.items():
         prefix = "fixed" if label.startswith("fixed") else "var"
         run = _simulate_with_config(profile, config, scale)
         stats = run.controller_stats
+        timeline = run.timeline
         breakdown = stats.breakdown()
         row[f"{prefix}:total"] = stats.relative_extra_accesses()
         row[f"{prefix}:split"] = breakdown["split"]
         row[f"{prefix}:ovf"] = breakdown["overflow"]
         row[f"{prefix}:md"] = breakdown["metadata"]
-    return {"row": row, "stats": _stats_summary(stats)}
+    output = {"row": row, "stats": _stats_summary(stats)}
+    if timeline is not None:
+        output["timeline"] = timeline
+    return output
 
 
 def run_fig4(scale: ExperimentScale = DEFAULT,
@@ -250,8 +261,15 @@ def run_fig4(scale: ExperimentScale = DEFAULT,
 
 
 def _simulate_with_config(profile, config, scale: ExperimentScale):
-    """Run the cycle simulator with an explicit controller config."""
-    return simulate(profile, "custom", scale.sim(), config=config)
+    """Run the cycle simulator with an explicit controller config.
+
+    When ``scale.trace_window`` is set the run is traced and the result
+    carries a :func:`repro.obs.timeline_digest` in ``.timeline``.
+    """
+    tracer = (Tracer(digest_window=scale.trace_window)
+              if scale.trace_window else None)
+    return simulate(profile, "custom", scale.sim(), config=config,
+                    tracer=tracer)
 
 
 # ---------------------------------------------------------------------------
@@ -263,11 +281,17 @@ def _unit_fig6(benchmark: str, scale: ExperimentScale) -> dict:
     profile = PROFILES[benchmark]
     row: Dict[str, Any] = {"benchmark": profile.name}
     stats = None
+    timeline = None
     for name, config in optimization_ladder():
         run = _simulate_with_config(profile, config, scale)
         stats = run.controller_stats
+        timeline = run.timeline
         row[name] = stats.relative_extra_accesses()
-    return {"row": row, "stats": _stats_summary(stats)}
+    output = {"row": row, "stats": _stats_summary(stats)}
+    if timeline is not None:
+        output["timeline"] = timeline
+    return output
+
 
 
 def run_fig6(scale: ExperimentScale = DEFAULT,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..memory.allocator import OutOfMemoryError
+from ..obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -50,12 +51,19 @@ class BalloonDriver:
         self._held_pages: List[int] = []
         controller.balloon = self
 
+    @property
+    def _tracer(self):
+        """The controller's tracer (resolved per call, so a tracer
+        attached after construction is still observed)."""
+        return getattr(self.controller, "tracer", NULL_TRACER)
+
     def relieve(self, chunks_needed: int) -> None:
         """Free at least ``chunks_needed`` chunks of machine memory."""
         target = chunks_needed + self.safety_chunks
         freed = 0
         self.stats.inflations += 1
         self.controller.stats.balloon_inflations += 1
+        self._tracer.emit("balloon_inflation", chunks_needed=chunks_needed)
         while freed < target:
             page = self.os_pages.take_free_page()
             dirty = False
@@ -66,6 +74,7 @@ class BalloonDriver:
                 page, dirty = taken
                 if dirty:
                     self.stats.pages_paged_out += 1
+                    self._tracer.emit("balloon_page_out", page=page)
             freed += self._reclaim(page)
         if freed < chunks_needed:
             raise OutOfMemoryError(
@@ -82,6 +91,8 @@ class BalloonDriver:
         )
         if released:
             self.stats.deflations += 1
+            self._tracer.emit("balloon_deflate", extra=0,
+                              pages=len(released))
         return released
 
     @property
@@ -101,6 +112,7 @@ class BalloonDriver:
         self.controller.free_page(page)
         self.stats.pages_reclaimed += 1
         self.controller.stats.balloon_pages_reclaimed += 1
+        self._tracer.emit("balloon_reclaim", page=page, chunks=chunks)
         return chunks
 
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 from ..compression import is_zero_line, make_compressor
 from ..memory.physical import MemoryGeometry, OutOfMemoryError, PhysicalMemory
 from ..memory.request import AccessCategory, AccessKind, AccessResult, MemAccess
+from ..obs.tracer import NULL_TRACER
 from .config import CompressoConfig
 from .lcp import LCPPack
 from .linepack import LinePack
@@ -94,9 +95,10 @@ class CompressedMemoryController:
     """OSPA→MPA translation and compressed data management."""
 
     def __init__(self, config: CompressoConfig, geometry: MemoryGeometry,
-                 burst_buffer_blocks: int = 16) -> None:
+                 burst_buffer_blocks: int = 16, tracer=NULL_TRACER) -> None:
         self.config = config
         self.geometry = geometry
+        self.tracer = tracer
         self.memory = PhysicalMemory(
             geometry, allocation=config.allocation, chunk_size=config.chunk_size
         )
@@ -110,12 +112,15 @@ class CompressedMemoryController:
             self.packer = LCPPack(
                 config.line_bins, config.line_size, config.max_inflation_pointers
             )
-        self.predictor = PageOverflowPredictor(config.enable_overflow_prediction)
+        self.predictor = PageOverflowPredictor(
+            config.enable_overflow_prediction, tracer=tracer
+        )
         self.metadata_cache = MetadataCache(
             config.metadata_cache_bytes,
             config.metadata_cache_assoc,
             half_entries=config.enable_metadata_half_entries,
             on_evict=self._on_metadata_evict,
+            tracer=tracer,
         )
         self.stats = ControllerStats()
         self.pages: Dict[int, PageState] = {}
@@ -139,6 +144,7 @@ class CompressedMemoryController:
         self._active_page = page
         result = AccessResult()
         self.stats.demand_reads += 1
+        self.tracer.tick()
         state = self._page(page)
 
         self._metadata_access(page, state, result, for_write=False)
@@ -148,6 +154,7 @@ class CompressedMemoryController:
         meta = state.meta
         if not meta.valid or meta.zero:
             self.stats.zero_line_reads += 1
+            self.tracer.emit("zero_line_read", page=page)
             result.served_by_metadata = True
             return self._finish(result)
 
@@ -162,6 +169,7 @@ class CompressedMemoryController:
         if location.size == 0:
             # Zero-size slot: the line is known zero from metadata alone.
             self.stats.zero_line_reads += 1
+            self.tracer.emit("zero_line_read", page=page)
             result.served_by_metadata = True
             return self._finish(result)
 
@@ -170,6 +178,7 @@ class CompressedMemoryController:
         blocks = self._blocks_for(state, location.offset, location.size)
         if all((page, block) in self._burst_buffer for block in blocks):
             self.stats.prefetch_hits += 1
+            self.tracer.emit("prefetch_hit", page=page)
             result.prefetch_hit = True
             return self._finish(result)
 
@@ -182,6 +191,7 @@ class CompressedMemoryController:
             self._remember_block(page, block)
         if len(blocks) > 1:
             self.stats.split_accesses += len(blocks) - 1
+            self.tracer.emit("split_access", page=page, extra=len(blocks) - 1)
         return self._finish(result)
 
     def write_line(self, page: int, line: int, data: bytes) -> AccessResult:
@@ -192,6 +202,7 @@ class CompressedMemoryController:
         self._active_page = page
         result = AccessResult()
         self.stats.demand_writes += 1
+        self.tracer.tick()
         state = self._page(page)
 
         self._metadata_access(page, state, result, for_write=True)
@@ -210,6 +221,7 @@ class CompressedMemoryController:
         if not meta.valid or meta.zero:
             if zero:
                 self.stats.zero_line_writes += 1
+                self.tracer.emit("zero_line_write", page=page)
                 result.served_by_metadata = True
                 return self._finish(result)
             self._first_touch(page, state, result)
@@ -218,6 +230,7 @@ class CompressedMemoryController:
         if not meta.compressed:
             if new_ideal_bin < old_ideal_bin:
                 self.stats.line_underflows += 1
+                self.tracer.emit("line_underflow", page=page)
                 self.predictor.on_line_underflow(page)
             address = self._mpa_address(state, line * self.config.line_size)
             result.accesses.append(
@@ -232,6 +245,7 @@ class CompressedMemoryController:
             # Already in the inflation room: 64 B raw slot always fits.
             if new_ideal_bin < old_ideal_bin:
                 self.stats.line_underflows += 1
+                self.tracer.emit("line_underflow", page=page)
                 self.predictor.on_line_underflow(page)
             self._write_blocks(state, result, location.offset, _BLOCK,
                                AccessCategory.DEMAND)
@@ -239,6 +253,7 @@ class CompressedMemoryController:
 
         if zero and location.size == 0:
             self.stats.zero_line_writes += 1
+            self.tracer.emit("zero_line_write", page=page)
             result.served_by_metadata = True
             return self._finish(result)
 
@@ -247,10 +262,12 @@ class CompressedMemoryController:
         if self.packer.bin_bytes(new_bin) <= location.size:
             if new_ideal_bin < old_ideal_bin:
                 self.stats.line_underflows += 1
+                self.tracer.emit("line_underflow", page=page)
                 self.predictor.on_line_underflow(page)
             if zero:
                 # All-zero writeback: metadata alone records it (§VII-A).
                 self.stats.zero_line_writes += 1
+                self.tracer.emit("zero_line_write", page=page)
                 result.served_by_metadata = True
                 return self._finish(result)
             result.controller_cycles += self.config.compression_latency
@@ -264,6 +281,7 @@ class CompressedMemoryController:
         # being overwritten with raw data, §IV-B2); a line merely
         # growing into a compressed bin is normal warm-up.
         self.stats.line_overflows += 1
+        self.tracer.emit("line_overflow", page=page)
         incompressible = new_bin == len(self.config.line_bins) - 1
         if incompressible:
             self.predictor.on_line_overflow(page)
@@ -381,10 +399,12 @@ class CompressedMemoryController:
         hit = self.metadata_cache.access(page, half=half, make_dirty=False)
         if hit:
             self.stats.metadata_hits += 1
+            self.tracer.emit("metadata_hit", page=page)
             result.controller_cycles += self.config.metadata_cache_hit_latency
         else:
             self.stats.metadata_misses += 1
             self.stats.metadata_miss_accesses += 1
+            self.tracer.emit("metadata_miss", page=page, extra=1)
             critical = not (self.config.speculative_access and not for_write)
             result.accesses.append(
                 MemAccess(AccessKind.READ, AccessCategory.METADATA,
@@ -407,6 +427,7 @@ class CompressedMemoryController:
             return
         if meta.inflated_lines:
             self.stats.speculation_wasted_accesses += 1
+            self.tracer.emit("speculation_wasted", page=page, extra=1)
             address = self._mpa_address(state, 0)
             result.accesses.append(
                 MemAccess(AccessKind.READ, AccessCategory.SPECULATIVE, address,
@@ -417,6 +438,7 @@ class CompressedMemoryController:
         state = self.pages.get(page)
         if dirty:
             self.stats.metadata_writebacks += 1
+            self.tracer.emit("metadata_writeback", page=page, extra=1)
             self._pending.append(
                 MemAccess(AccessKind.WRITE, AccessCategory.METADATA,
                           self.memory.metadata_address(page), critical=False)
@@ -595,6 +617,7 @@ class CompressedMemoryController:
         for index, block in enumerate(blocks):
             if index > 0 and category is AccessCategory.DEMAND:
                 self.stats.split_accesses += 1
+                self.tracer.emit("split_access", extra=1)
                 block_category = AccessCategory.SPLIT
             else:
                 block_category = category
@@ -630,6 +653,7 @@ class CompressedMemoryController:
         if self.predictor.should_inflate(page):
             self._store_uncompressed(page, state, result, moved_lines=0)
             self.stats.predictor_inflations += 1
+            self.tracer.emit("predictor_inflation", page=page)
         else:
             meta.compressed = True
             layout = self._best_layout(state.ideal_sizes)
@@ -657,8 +681,10 @@ class CompressedMemoryController:
             moved = self._page_data_blocks(state)
             self._store_uncompressed(page, state, result, moved_lines=moved)
             self.stats.predictor_inflations += 1
+            self.tracer.emit("predictor_inflation", page=page)
             state.predictor_inflated = True
             self.stats.page_overflows += 1
+            self.tracer.emit("page_overflow", page=page)
             self.predictor.on_page_overflow()
             address = self._mpa_address(state, line * config.line_size)
             result.accesses.append(
@@ -691,6 +717,7 @@ class CompressedMemoryController:
         ):
             self._allocate(state, meta.size_chunks + 1)
             self.stats.ir_expansions += 1
+            self.tracer.emit("ir_expansion", page=page)
             # The page just grew a size bin — the cheap form of a page
             # overflow; the global predictor watches this pressure.
             if incompressible:
@@ -741,6 +768,7 @@ class CompressedMemoryController:
             # The page no longer fits compressed: store it raw.
             if new_chunks > old_chunks:
                 self.stats.page_overflows += 1
+                self.tracer.emit("page_overflow", page=page)
                 self.predictor.on_page_overflow()
                 self._os_page_fault(result)
             self._store_uncompressed(page, state, result,
@@ -748,6 +776,7 @@ class CompressedMemoryController:
             return
         if new_chunks > old_chunks:
             self.stats.page_overflows += 1
+            self.tracer.emit("page_overflow", page=page)
             self.predictor.on_page_overflow()
             self._os_page_fault(result)
         self._allocate(state, max(new_chunks, old_chunks)
@@ -761,6 +790,7 @@ class CompressedMemoryController:
             moved_writes = max(1, new_blocks - start)
         traffic = moved_reads + moved_writes
         self.stats.overflow_accesses += traffic
+        self.tracer.emit("overflow_traffic", page=page, extra=traffic)
         self._count_bulk(result, state, reads=moved_reads,
                          writes=moved_writes,
                          category=AccessCategory.OVERFLOW)
@@ -806,6 +836,7 @@ class CompressedMemoryController:
             lines_with_data = sum(1 for d in state.data if d is not None)
             traffic = old_blocks + lines_with_data
             self.stats.overflow_accesses += traffic
+            self.tracer.emit("overflow_traffic", page=page, extra=traffic)
             self._count_bulk(result, state, reads=old_blocks,
                              writes=lines_with_data,
                              category=AccessCategory.OVERFLOW)
@@ -822,6 +853,7 @@ class CompressedMemoryController:
             # Compression no longer pays for this page: go uncompressed.
             if new_chunks > old_chunks:
                 self.stats.page_overflows += 1
+                self.tracer.emit("page_overflow", page=page)
                 self.predictor.on_page_overflow()
                 self._os_page_fault(result)
             self._store_uncompressed(page, state, result,
@@ -830,6 +862,7 @@ class CompressedMemoryController:
         self._apply_layout(state, layout)
         if new_chunks > old_chunks:
             self.stats.page_overflows += 1
+            self.tracer.emit("page_overflow", page=page)
             self.predictor.on_page_overflow()
             self._os_page_fault(result)
         self._allocate(state, new_chunks)
@@ -844,6 +877,7 @@ class CompressedMemoryController:
             moved_reads = max(0, old_blocks - start)
         traffic = moved_reads + moved_writes
         self.stats.overflow_accesses += traffic
+        self.tracer.emit("overflow_traffic", page=page, extra=traffic)
         self._count_bulk(result, state, reads=moved_reads, writes=moved_writes,
                          category=AccessCategory.OVERFLOW)
 
@@ -851,6 +885,7 @@ class CompressedMemoryController:
         """OS-aware systems take a page fault on every page overflow."""
         if not self.config.os_transparent:
             self.stats.os_page_faults += 1
+            self.tracer.emit("os_page_fault")
 
     def _apply_layout(self, state: PageState, layout: PageLayout) -> None:
         state.meta.line_bins = [
@@ -897,6 +932,7 @@ class CompressedMemoryController:
             meta.inflated_lines = []
             state.layout = None
             self.stats.repack_events += 1
+            self.tracer.emit("repack", page=page, extra=0, zero_drop=True)
             self.predictor.on_page_shrink()
             return True
         layout = self._best_layout(state.ideal_sizes)
@@ -916,6 +952,7 @@ class CompressedMemoryController:
         traffic = old_blocks + new_blocks
         self.stats.repack_events += 1
         self.stats.repack_accesses += traffic
+        self.tracer.emit("repack", page=page, extra=traffic)
         self.predictor.on_page_shrink()
         for index in range(traffic):
             kind = AccessKind.READ if index < old_blocks else AccessKind.WRITE

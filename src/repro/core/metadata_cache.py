@@ -18,6 +18,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..obs.tracer import NULL_TRACER
+
 
 @dataclass
 class CacheEntry:
@@ -40,9 +42,10 @@ class MetadataCacheStats:
     dirty_evictions: int = 0
     half_entries_filled: int = 0
 
-    def hit_rate(self) -> float:
+    def hit_rate(self) -> Optional[float]:
+        """Hit rate, or ``None`` when the cache was never probed."""
         lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 1.0
+        return self.hits / lookups if lookups else None
 
 
 class MetadataCache:
@@ -60,7 +63,8 @@ class MetadataCache:
 
     def __init__(self, capacity_bytes: int = 96 * 1024, assoc: int = 8,
                  half_entries: bool = True,
-                 on_evict: Optional[Callable[[int, bool], None]] = None) -> None:
+                 on_evict: Optional[Callable[[int, bool], None]] = None,
+                 tracer=NULL_TRACER) -> None:
         if capacity_bytes % (self.ENTRY_BYTES * assoc):
             raise ValueError("capacity must divide into assoc x 64 B sets")
         self.n_sets = capacity_bytes // (self.ENTRY_BYTES * assoc)
@@ -68,6 +72,7 @@ class MetadataCache:
         self.half_entries = half_entries
         self.slots_per_set = assoc * 2  # capacity in 32 B sub-slots
         self.on_evict = on_evict
+        self.tracer = tracer
         self.stats = MetadataCacheStats()
         # Per set: OrderedDict page -> CacheEntry, LRU order (oldest first).
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
@@ -81,8 +86,10 @@ class MetadataCache:
         if page in entries:
             entries.move_to_end(page)
             self.stats.hits += 1
+            self.tracer.emit("mdcache_hit", page=page)
             return True
         self.stats.misses += 1
+        self.tracer.emit("mdcache_miss", page=page)
         return False
 
     def fill(self, page: int, half: bool = False, dirty: bool = False) -> int:
@@ -103,6 +110,7 @@ class MetadataCache:
         entries[page] = new_entry
         if half:
             self.stats.half_entries_filled += 1
+            self.tracer.emit("mdcache_half_fill", page=page)
         return evictions
 
     def access(self, page: int, half: bool = False,
@@ -148,6 +156,14 @@ class MetadataCache:
     def resident_pages(self) -> List[int]:
         return [page for entries in self._sets for page in entries]
 
+    def occupancy(self) -> float:
+        """Fraction of the cache's 32-byte sub-slots currently filled."""
+        capacity = self.n_sets * self.slots_per_set
+        if not capacity:
+            return 0.0
+        used = sum(self._used_slots(entries) for entries in self._sets)
+        return used / capacity
+
     @staticmethod
     def _used_slots(entries: OrderedDict) -> int:
         return sum(entry.slots for entry in entries.values())
@@ -159,6 +175,8 @@ class MetadataCache:
                 self.stats.evictions += 1
                 if entry.dirty:
                     self.stats.dirty_evictions += 1
+                self.tracer.emit("mdcache_evict", page=entry.page,
+                                 dirty=entry.dirty)
                 if self.on_evict is not None:
                     self.on_evict(entry.page, entry.dirty)
                 return 1

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.tracer import NULL_TRACER
+
 
 @dataclass
 class SaturatingCounter:
@@ -63,8 +65,9 @@ class PageOverflowPredictor:
     LOCAL_BITS = 2
     GLOBAL_BITS = 3
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, tracer=NULL_TRACER) -> None:
         self.enabled = enabled
+        self.tracer = tracer
         self._global = SaturatingCounter(self.GLOBAL_BITS)
         self._local: dict = {}
 
@@ -94,11 +97,15 @@ class PageOverflowPredictor:
         if not self.enabled:
             return False
         local = self._local.get(page)
-        return (
+        fire = (
             local is not None
             and local.high_bit_set
             and self._global.high_bit_set
         )
+        if fire:
+            self.tracer.emit("predictor_fire", page=page,
+                             local=local.value, global_=self._global.value)
+        return fire
 
     def local_value(self, page: int) -> int:
         counter = self._local.get(page)

@@ -5,11 +5,26 @@ accesses relative to an uncompressed baseline*, broken into three
 sources: split-access cache lines, compressibility changes (line/page
 overflows, inflation-room traffic, repacking) and metadata-cache misses
 (§IV).  These counters mirror that taxonomy exactly.
+
+The counters are the canonical storage (plain integer fields, so the
+hot-path ``+=`` sites stay native speed), and the class is rebased onto
+the observability layer two ways without changing its public API:
+
+* every counter site in the controller has a matching
+  :mod:`repro.obs.tracer` event emit (linted by
+  ``scripts/check_instrumentation.py``), so the aggregate counters and
+  the event timeline reconcile exactly;
+* :meth:`ControllerStats.bind_registry` publishes every counter and
+  derived aggregate into a :class:`repro.obs.metrics.MetricRegistry`
+  as lazily-read pull metrics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from ..obs.metrics import MetricRegistry
 
 
 @dataclass
@@ -87,6 +102,11 @@ class ControllerStats:
         """Demand accesses compression eliminated (zero lines, prefetch)."""
         return self.zero_line_reads + self.zero_line_writes + self.prefetch_hits
 
+    @property
+    def metadata_lookups(self) -> int:
+        """Metadata-cache probes: hits + misses (0 = no metadata traffic)."""
+        return self.metadata_hits + self.metadata_misses
+
     def relative_extra_accesses(self) -> float:
         """Extra accesses / demand accesses (the Fig. 4 / Fig. 6 metric)."""
         if self.demand_accesses == 0:
@@ -103,14 +123,48 @@ class ControllerStats:
             / demand,
         }
 
-    def metadata_hit_rate(self) -> float:
-        lookups = self.metadata_hits + self.metadata_misses
-        return self.metadata_hits / lookups if lookups else 1.0
+    def metadata_hit_rate(self) -> Optional[float]:
+        """Metadata-cache hit rate, or ``None`` when there was no
+        metadata traffic at all — a run that never probed the cache has
+        no hit rate, and reporting 1.0 would fake a perfect one."""
+        lookups = self.metadata_lookups
+        return self.metadata_hits / lookups if lookups else None
 
     def merge(self, other: "ControllerStats") -> None:
-        """Accumulate another stats object into this one."""
+        """Accumulate another stats object into this one.
+
+        Only plain integer counter fields merge; anything else (a
+        derived value or a non-counter that leaked into a field) is
+        skipped defensively rather than summed into nonsense.
+        """
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if (isinstance(mine, int) and not isinstance(mine, bool)
+                    and isinstance(theirs, int)
+                    and not isinstance(theirs, bool)):
+                setattr(self, f.name, mine + theirs)
 
     def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def bind_registry(self, registry: MetricRegistry,
+                      prefix: str = "controller") -> MetricRegistry:
+        """Publish every counter (and the derived aggregates) into a
+        :class:`~repro.obs.metrics.MetricRegistry` as pull metrics.
+
+        The registry reads the live fields lazily at collect time, so
+        binding costs nothing on the controller's hot path.
+        """
+        for f in fields(self):
+            registry.register(f"{prefix}.{f.name}",
+                              lambda name=f.name: getattr(self, name))
+        for name in ("demand_accesses", "compression_change_accesses",
+                     "extra_accesses", "saved_accesses", "metadata_lookups"):
+            registry.register(f"{prefix}.{name}",
+                              lambda name=name: getattr(self, name))
+        registry.register(f"{prefix}.relative_extra_accesses",
+                          self.relative_extra_accesses)
+        registry.register(f"{prefix}.metadata_hit_rate",
+                          self.metadata_hit_rate)
+        return registry

@@ -40,6 +40,22 @@ class AllocatorStats:
     def utilization(self) -> float:
         return self.used_chunks / self.total_chunks if self.total_chunks else 0.0
 
+    @property
+    def fragmentation(self) -> float:
+        """Fraction of free space unusable for a max-size request."""
+        free = self.free_chunks
+        return self.fragmented_chunks / free if free else 0.0
+
+    def observe(self, registry, prefix: str = "allocator") -> None:
+        """Publish this snapshot as gauges on a MetricRegistry."""
+        registry.gauge(f"{prefix}.total_chunks").set(self.total_chunks)
+        registry.gauge(f"{prefix}.used_chunks").set(self.used_chunks)
+        registry.gauge(f"{prefix}.free_chunks").set(self.free_chunks)
+        registry.gauge(f"{prefix}.fragmented_chunks").set(
+            self.fragmented_chunks)
+        registry.gauge(f"{prefix}.utilization").set(self.utilization)
+        registry.gauge(f"{prefix}.fragmentation").set(self.fragmentation)
+
 
 class ChunkAllocator:
     """Free-list allocator over fixed 512-byte chunks (Compresso)."""
@@ -87,6 +103,10 @@ class ChunkAllocator:
 
     def stats(self) -> AllocatorStats:
         return AllocatorStats(self.total_chunks, self.used_chunks)
+
+    def observe(self, registry, prefix: str = "allocator") -> None:
+        """Publish the current occupancy gauges to a MetricRegistry."""
+        self.stats().observe(registry, prefix)
 
     def chunk_base_address(self, chunk: int) -> int:
         """MPA byte address of a chunk (used for DRAM bank mapping)."""
@@ -191,6 +211,12 @@ class VariableAllocator:
         if not self._free_lists[self._orders]:
             frag = self.free_chunks
         return AllocatorStats(self.total_chunks, self.used_chunks, frag)
+
+    def observe(self, registry, prefix: str = "allocator") -> None:
+        """Publish occupancy/fragmentation gauges to a MetricRegistry."""
+        self.stats().observe(registry, prefix)
+        registry.gauge(f"{prefix}.largest_free_region_bytes").set(
+            self.largest_free_region())
 
     def chunk_base_address(self, chunk: int) -> int:
         return chunk * self.chunk_size

@@ -1,0 +1,64 @@
+"""Observability: event tracing, metrics, timelines, exporters.
+
+See docs/OBSERVABILITY.md for the event schema, clock semantics, and
+exporter formats.  Quick tour:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — structured controller events
+  on a simulated-access clock (``repro.obs.tracer``);
+* :class:`MetricRegistry` — named counters/gauges/histograms plus
+  pull-metric binding for ``ControllerStats`` (``repro.obs.metrics``);
+* :func:`build_timeline` / :func:`timeline_digest` — windowed §IV
+  extra-access breakdown (``repro.obs.timeline``);
+* :func:`chrome_trace` and friends — Perfetto-loadable JSON, CSV, and
+  terminal exporters (``repro.obs.export``).
+"""
+
+from .export import (
+    chrome_trace,
+    events_csv,
+    summary,
+    timeline_csv,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    sample_controller,
+)
+from .timeline import TimelineWindow, build_timeline, timeline_digest
+from .tracer import (
+    EVENT_SOURCES,
+    NULL_TRACER,
+    SOURCES,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    filter_events,
+    known_event,
+)
+
+__all__ = [
+    "EVENT_SOURCES",
+    "NULL_TRACER",
+    "SOURCES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "TimelineWindow",
+    "build_timeline",
+    "chrome_trace",
+    "events_csv",
+    "filter_events",
+    "known_event",
+    "sample_controller",
+    "summary",
+    "timeline_csv",
+    "timeline_digest",
+    "write_chrome_trace",
+]

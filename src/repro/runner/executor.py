@@ -145,6 +145,9 @@ class Runner:
             if isinstance(result, dict) and isinstance(
                     result.get("stats"), dict):
                 fields["stats"] = result["stats"]
+            if isinstance(result, dict) and isinstance(
+                    result.get("timeline"), dict):
+                fields["timeline"] = result["timeline"]
             self.journal.event("unit_end", **fields)
 
     def _progress_line(self, units: Sequence[WorkUnit], done: int,

@@ -20,7 +20,10 @@ event           required fields (beyond ``event``, ``run_id``, ``ts``)
 ==============  =====================================================
 
 ``unit_end`` additionally carries ``stats`` (a ControllerStats summary
-dict) when the unit reports one.
+dict) when the unit reports one, and ``timeline`` (a
+``repro.obs.timeline_digest`` dict — windowed extra-access totals per
+§IV source plus the peak window) when the unit ran under a tracer
+(``--trace-window`` / ``ExperimentScale.trace_window``).
 """
 
 from __future__ import annotations

@@ -11,18 +11,18 @@ behind steps next), mimicking zsim's always-under-contention
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..cpu.core import AnalyticCore, CoreConfig
 from ..memory.dram import DRAMStats, DRAMSystem, DRAMTimings
+from ..obs import NULL_TRACER, timeline_digest
 from ..workloads.profiles import BenchmarkProfile
 from ..workloads.tracegen import TraceGenerator, Workload
 from .simulator import (
     EventEngine,
     SimulationConfig,
-    UncompressedController,
     _build_controller,
 )
 
@@ -38,7 +38,11 @@ class MulticoreResult:
     controller_stats: object
     dram_stats: DRAMStats
     ratio_timeline: List[float] = field(default_factory=list)
-    metadata_hit_rate: float = 1.0
+    #: ``None`` when the run produced no metadata traffic (e.g. the
+    #: uncompressed baseline never probes the metadata cache).
+    metadata_hit_rate: Optional[float] = None
+    #: Windowed trace digest; only present when the run was traced.
+    timeline: Optional[dict] = None
 
     def speedup_over(self, baseline: "MulticoreResult") -> float:
         """Geometric mean of per-core speedups (same per-core traces)."""
@@ -51,10 +55,11 @@ class MulticoreResult:
 
 def simulate_multicore(profiles: List[BenchmarkProfile], system: str,
                        sim: SimulationConfig = SimulationConfig(),
-                       mix_name: str = "") -> MulticoreResult:
+                       mix_name: str = "", tracer=None) -> MulticoreResult:
     """Run a 4-benchmark mix on one system configuration."""
     if not profiles:
         raise ValueError("need at least one profile")
+    tracer = tracer if tracer is not None else NULL_TRACER
     workloads = [
         Workload(profile, scale=sim.scale, seed=sim.seed + index)
         for index, profile in enumerate(profiles)
@@ -65,12 +70,13 @@ def simulate_multicore(profiles: List[BenchmarkProfile], system: str,
         offsets.append(total_pages)
         total_pages += workload.pages
 
-    controller = _build_controller(system, total_pages, sim)
-    if sim.warm_install:
-        for workload, offset in zip(workloads, offsets):
-            for page in range(workload.pages):
-                controller.install_page(offset + page,
-                                        workload.page_lines(page))
+    controller = _build_controller(system, total_pages, sim, tracer=tracer)
+    with tracer.phase("install"):
+        if sim.warm_install:
+            for workload, offset in zip(workloads, offsets):
+                for page in range(workload.pages):
+                    controller.install_page(offset + page,
+                                            workload.page_lines(page))
 
     dram = DRAMSystem(n_channels=sim.dram_channels, timings=DRAMTimings())
     cores = [
@@ -93,22 +99,23 @@ def simulate_multicore(profiles: List[BenchmarkProfile], system: str,
     steps = 0
     # Always-under-contention interleave: the core furthest behind in
     # simulated time executes its next event.
-    while any(remaining):
-        core_index = min(
-            (i for i in range(len(cores)) if remaining[i]),
-            key=lambda i: cores[i].now,
-        )
-        event = next(iterators[core_index])
-        progress = progress_done[core_index] / sim.n_events
-        engines[core_index].step(event, progress)
-        remaining[core_index] -= 1
-        progress_done[core_index] += 1
-        steps += 1
-        if steps % sample_every == 0:
-            ratio_timeline.append(max(1.0, controller.compression_ratio()))
+    with tracer.phase("simulate"):
+        while any(remaining):
+            core_index = min(
+                (i for i in range(len(cores)) if remaining[i]),
+                key=lambda i: cores[i].now,
+            )
+            event = next(iterators[core_index])
+            progress = progress_done[core_index] / sim.n_events
+            engines[core_index].step(event, progress)
+            remaining[core_index] -= 1
+            progress_done[core_index] += 1
+            steps += 1
+            if steps % sample_every == 0:
+                ratio_timeline.append(max(1.0, controller.compression_ratio()))
 
-    controller.flush_metadata()
-    uncompressed = isinstance(controller, UncompressedController)
+    with tracer.phase("flush"):
+        controller.flush_metadata()
     return MulticoreResult(
         mix=mix_name or "+".join(p.name for p in profiles),
         system=system,
@@ -117,7 +124,10 @@ def simulate_multicore(profiles: List[BenchmarkProfile], system: str,
         controller_stats=controller.stats,
         dram_stats=dram.stats,
         ratio_timeline=ratio_timeline or [controller.compression_ratio()],
-        metadata_hit_rate=(
-            1.0 if uncompressed else controller.stats.metadata_hit_rate()
+        metadata_hit_rate=controller.stats.metadata_hit_rate(),
+        timeline=(
+            timeline_digest(tracer.events, tracer.digest_window,
+                            end_clock=tracer.clock)
+            if tracer.enabled else None
         ),
     )

@@ -22,6 +22,7 @@ from ..cpu.core import AnalyticCore, CoreConfig
 from ..memory.dram import DRAMStats, DRAMSystem, DRAMTimings
 from ..memory.physical import MemoryGeometry
 from ..memory.request import AccessCategory, AccessKind, AccessResult, MemAccess
+from ..obs import NULL_TRACER, timeline_digest
 from ..workloads.profiles import BenchmarkProfile
 from ..workloads.tracegen import TraceGenerator, Workload
 from .configs import OS_PAGE_FAULT_PENALTY_CYCLES, system_config
@@ -65,10 +66,15 @@ class SimulationResult:
     controller_stats: Optional[ControllerStats]
     dram_stats: DRAMStats
     ratio_timeline: List[float] = field(default_factory=list)
-    metadata_hit_rate: float = 1.0
+    #: Metadata-cache hit rate; ``None`` when the run produced no
+    #: metadata traffic (uncompressed baseline, or zero lookups).
+    metadata_hit_rate: Optional[float] = None
     #: Compression ratio after the final metadata flush (all pending
     #: repack triggers fired) — what a long-running system converges to.
     final_ratio: float = 1.0
+    #: Windowed trace digest (``repro.obs.timeline.timeline_digest``);
+    #: only present when the run was traced.
+    timeline: Optional[dict] = None
 
     @property
     def ipc(self) -> float:
@@ -122,7 +128,8 @@ class UncompressedController:
 
 def _build_controller(system: str, workload_pages: int,
                       sim: SimulationConfig,
-                      config: Optional[CompressoConfig] = None):
+                      config: Optional[CompressoConfig] = None,
+                      tracer=NULL_TRACER):
     if config is None:
         config = system_config(system)
     if config is None:
@@ -141,7 +148,7 @@ def _build_controller(system: str, workload_pages: int,
         installed_bytes=installed,
         advertised_ratio=max(2.0, (workload_pages + 64) * 4096 * 1.1 / installed),
     )
-    return CompressedMemoryController(config, geometry)
+    return CompressedMemoryController(config, geometry, tracer=tracer)
 
 
 class EventEngine:
@@ -195,19 +202,25 @@ class EventEngine:
 
 def simulate(profile: BenchmarkProfile, system: str,
              sim: SimulationConfig = SimulationConfig(),
-             config: Optional[CompressoConfig] = None) -> SimulationResult:
+             config: Optional[CompressoConfig] = None,
+             tracer=None) -> SimulationResult:
     """Run one benchmark on one system configuration.
 
     ``system`` is a named configuration (§VI-F); pass ``config`` to run
     an explicit :class:`CompressoConfig` design point instead (the
     Fig. 4/6 ladders and ablations do this), with ``system`` then used
-    only as the result label.
+    only as the result label.  Pass a :class:`repro.obs.Tracer` to
+    record controller events and wall-clock phase timings; the result
+    then carries a windowed timeline digest.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     workload = Workload(profile, scale=sim.scale, seed=sim.seed)
-    controller = _build_controller(system, workload.pages, sim, config)
-    if sim.warm_install:
-        for page in range(workload.pages):
-            controller.install_page(page, workload.page_lines(page))
+    controller = _build_controller(system, workload.pages, sim, config,
+                                   tracer=tracer)
+    with tracer.phase("install"):
+        if sim.warm_install:
+            for page in range(workload.pages):
+                controller.install_page(page, workload.page_lines(page))
 
     core = AnalyticCore(CoreConfig(), mlp=profile.mlp, cpi=profile.base_cpi)
     dram = DRAMSystem(n_channels=sim.dram_channels, timings=DRAMTimings())
@@ -217,12 +230,14 @@ def simulate(profile: BenchmarkProfile, system: str,
     ratio_timeline: List[float] = []
     sample_every = max(1, sim.n_events // max(1, sim.ratio_samples))
 
-    for index, event in enumerate(trace.events(sim.n_events)):
-        engine.step(event, progress=index / sim.n_events)
-        if index % sample_every == 0:
-            ratio_timeline.append(max(1.0, controller.compression_ratio()))
+    with tracer.phase("simulate"):
+        for index, event in enumerate(trace.events(sim.n_events)):
+            engine.step(event, progress=index / sim.n_events)
+            if index % sample_every == 0:
+                ratio_timeline.append(max(1.0, controller.compression_ratio()))
 
-    controller.flush_metadata()
+    with tracer.phase("flush"):
+        controller.flush_metadata()
     cstats = controller.stats if not isinstance(
         controller, UncompressedController
     ) else None
@@ -235,9 +250,11 @@ def simulate(profile: BenchmarkProfile, system: str,
         dram_stats=dram.stats,
         ratio_timeline=ratio_timeline,
         final_ratio=max(1.0, controller.compression_ratio()),
-        metadata_hit_rate=(
-            controller.stats.metadata_hit_rate()
-            if cstats is not None else 1.0
+        metadata_hit_rate=controller.stats.metadata_hit_rate(),
+        timeline=(
+            timeline_digest(tracer.events, tracer.digest_window,
+                            end_clock=tracer.clock)
+            if tracer.enabled else None
         ),
     )
 

@@ -1,0 +1,15 @@
+"""Wire the instrumentation lint (scripts/check_instrumentation.py)
+into the test run."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_check_instrumentation_passes():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_instrumentation.py")],
+        capture_output=True, text=True, cwd=ROOT)
+    assert proc.returncode == 0, proc.stderr or proc.stdout
