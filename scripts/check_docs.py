@@ -1,78 +1,44 @@
 #!/usr/bin/env python
-"""Documentation lint: module docstrings + internal markdown links.
+"""Documentation lint shim over the reprolint framework.
 
-Checks two invariants, and is wired into the test run via
-``tests/test_docs.py``:
+Historically a standalone regex checker; the checks now live as
+AST-based rules in ``repro.check`` (docs/LINTING.md):
 
-1. every module under ``src/repro/`` has a module docstring;
-2. every relative link in the top-level markdown docs (README.md,
-   DESIGN.md, EXPERIMENTS.md, docs/RUNNER.md) resolves to an existing
-   file.
+* ``module-docstring`` — every module under ``src/repro/`` has a
+  module docstring;
+* ``doc-links`` — every relative link in the tracked markdown docs
+  resolves to an existing file.
 
-Usage::
+This entry point remains for muscle memory and CI wiring
+(``tests/test_docs.py``); it is equivalent to::
 
-    python scripts/check_docs.py
+    python -m repro.analysis lint --rules module-docstring,doc-links
 
 Exits non-zero listing each problem on stderr.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
-from typing import List
 
 ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
 
-#: Markdown files whose relative links must resolve.
-DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
-        "docs/OBSERVABILITY.md")
+from repro.check import run_lint  # noqa: E402
+from repro.check.builtin_rules import DOCS  # noqa: E402
+from repro.check.findings import format_finding  # noqa: E402
 
-_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_FENCE = re.compile(r"```.*?```", re.DOTALL)
-_EXTERNAL = ("http://", "https://", "mailto:", "#")
-
-
-def check_docstrings() -> List[str]:
-    """Every module under src/repro/ must open with a docstring."""
-    problems = []
-    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
-        tree = ast.parse(path.read_text(), filename=str(path))
-        if not ast.get_docstring(tree):
-            problems.append(
-                f"{path.relative_to(ROOT)}: missing module docstring")
-    return problems
-
-
-def check_links() -> List[str]:
-    """Relative markdown links in DOCS must point at existing files."""
-    problems = []
-    for doc in DOCS:
-        path = ROOT / doc
-        if not path.exists():
-            problems.append(f"{doc}: file missing")
-            continue
-        # Fenced code blocks can contain bracket/paren sequences that
-        # look like links (table output, list comprehensions) — skip.
-        text = _FENCE.sub("", path.read_text())
-        for match in _LINK.finditer(text):
-            target = match.group(1)
-            if target.startswith(_EXTERNAL):
-                continue
-            target = target.split("#", 1)[0]
-            if target and not (path.parent / target).exists():
-                problems.append(f"{doc}: broken link -> {target}")
-    return problems
+RULES = ("module-docstring", "doc-links")
 
 
 def main() -> int:
-    problems = check_docstrings() + check_links()
-    for problem in problems:
-        print(problem, file=sys.stderr)
-    if problems:
-        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+    report = run_lint(root=ROOT, rules=RULES)
+    for finding in report.findings:
+        print(format_finding(finding), file=sys.stderr)
+    if not report.ok:
+        print(f"check_docs: {len(report.errors)} problem(s)",
+              file=sys.stderr)
         return 1
     n_modules = sum(1 for _ in (ROOT / "src" / "repro").rglob("*.py"))
     print(f"check_docs: OK ({n_modules} modules, {len(DOCS)} docs)")

@@ -1,103 +1,48 @@
 #!/usr/bin/env python
-"""Instrumentation lint: stats counters must emit trace events.
+"""Instrumentation lint shim over the reprolint framework.
 
-The observability layer (``repro.obs``, docs/OBSERVABILITY.md) relies
-on every ``ControllerStats`` increment in the hot paths having a
-matching tracer call, so that trace timelines reconcile exactly with
-the aggregate counters.  This lint enforces two invariants over the
-``src/repro/core/`` modules, and is wired into the test run via
-``tests/test_instrumentation.py``:
+Historically a standalone regex checker; the checks now live as
+AST-based rules in ``repro.check`` (docs/LINTING.md):
 
-1. every ``stats.<counter> += ...`` statement has a ``.emit(`` or
-   ``.tick(`` call within a few surrounding lines (``tick`` covers the
-   demand counters, which advance the trace clock rather than record
-   an event);
-2. every event name passed as a string literal to ``.emit(`` is
-   registered in ``repro.obs.tracer.EVENT_SOURCES`` — an unregistered
-   name would silently drop out of the per-source timeline.
+* ``stats-emit`` — every ``stats.<counter> += ...`` in
+  ``src/repro/core/`` has a ``.emit(`` or ``.tick(`` call within a few
+  surrounding lines, so trace timelines reconcile with the counters;
+* ``emit-registered`` — every event name passed as a string literal to
+  ``.emit(`` is registered in ``repro.obs.tracer.EVENT_SOURCES``.
 
-Usage::
+This entry point remains for muscle memory and CI wiring
+(``tests/test_instrumentation.py``); it is equivalent to::
 
-    python scripts/check_instrumentation.py
+    python -m repro.analysis lint --rules stats-emit,emit-registered
 
 Exits non-zero listing each problem on stderr.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
-from typing import List
 
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.check import run_lint  # noqa: E402
+from repro.check.findings import format_finding  # noqa: E402
 from repro.obs.tracer import EVENT_SOURCES  # noqa: E402
 
-#: Directory whose stats increments must be instrumented.
-CORE = ROOT / "src" / "repro" / "core"
-
-#: How many lines around an increment may hold its tracer call.
-NEIGHBORHOOD = 4
-
-_INCREMENT = re.compile(r"\bstats\.(\w+)\s*\+=")
-_TRACER_CALL = re.compile(r"\.(emit|tick)\(")
-_EMIT_NAME = re.compile(r"\.emit\(\s*[\"']([a-z_]+)[\"']")
-
-
-def check_increments() -> List[str]:
-    """Every stats increment needs a nearby emit/tick."""
-    problems = []
-    for path in sorted(CORE.glob("*.py")):
-        lines = path.read_text().splitlines()
-        for number, line in enumerate(lines, start=1):
-            match = _INCREMENT.search(line)
-            if not match:
-                continue
-            low = max(0, number - 1 - NEIGHBORHOOD)
-            high = min(len(lines), number + NEIGHBORHOOD)
-            window = "\n".join(lines[low:high])
-            if not _TRACER_CALL.search(window):
-                problems.append(
-                    f"{path.relative_to(ROOT)}:{number}: "
-                    f"stats.{match.group(1)} += has no tracer emit/tick "
-                    f"within {NEIGHBORHOOD} lines")
-    return problems
-
-
-def check_event_names() -> List[str]:
-    """Every emitted string-literal event name must be registered."""
-    problems = []
-    for path in sorted(CORE.glob("*.py")):
-        for number, line in enumerate(
-                path.read_text().splitlines(), start=1):
-            for match in _EMIT_NAME.finditer(line):
-                name = match.group(1)
-                if name not in EVENT_SOURCES:
-                    problems.append(
-                        f"{path.relative_to(ROOT)}:{number}: "
-                        f"emit({name!r}) is not registered in "
-                        f"repro.obs.tracer.EVENT_SOURCES")
-    return problems
+RULES = ("stats-emit", "emit-registered")
 
 
 def main() -> int:
-    problems = check_increments() + check_event_names()
-    for problem in problems:
-        print(problem, file=sys.stderr)
-    if problems:
-        print(f"check_instrumentation: {len(problems)} problem(s)",
+    report = run_lint(root=ROOT, rules=RULES)
+    for finding in report.findings:
+        print(format_finding(finding), file=sys.stderr)
+    if not report.ok:
+        print(f"check_instrumentation: {len(report.errors)} problem(s)",
               file=sys.stderr)
         return 1
-    n_increments = sum(
-        len(_INCREMENT.findall(path.read_text()))
-        for path in CORE.glob("*.py"))
-    n_names = sum(
-        len(_EMIT_NAME.findall(path.read_text()))
-        for path in CORE.glob("*.py"))
-    print(f"check_instrumentation: OK ({n_increments} stats increments, "
-          f"{n_names} emit sites, {len(EVENT_SOURCES)} known events)")
+    print(f"check_instrumentation: OK ({report.n_files} files, "
+          f"{len(EVENT_SOURCES)} known events)")
     return 0
 
 

@@ -8,12 +8,20 @@ under ``.repro_cache/``, and a ``runs.jsonl`` run journal::
     python -m repro.analysis run --filter fig10 --filter tab2
     python -m repro.analysis run --no-cache --jobs 1 --scale default
     python -m repro.analysis run --filter fig4 --trace-window 1000
+    python -m repro.analysis run --filter fig4 --sanitize
 
 The ``trace`` subcommand (docs/OBSERVABILITY.md) runs one traced
 simulation per matching benchmark and exports the event stream::
 
     python -m repro.analysis trace --filter gcc --out trace.json
     python -m repro.analysis trace --filter mcf --window 500 --csv tl.csv
+
+The ``lint`` subcommand (docs/LINTING.md) runs the reprolint static
+checks over the tree and exits nonzero on any error finding::
+
+    python -m repro.analysis lint
+    python -m repro.analysis lint --jobs 4
+    python -m repro.analysis lint --rules stats-emit,emit-registered
 
 The legacy positional form still works and behaves exactly as before
 (serial, no cache, no journal)::
@@ -106,6 +114,10 @@ def _run_command(argv) -> int:
                         help="trace cycle-based units and journal a "
                              "timeline digest with N-access windows "
                              "(default: tracing off)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach the memory-model sanitizer "
+                             "(docs/LINTING.md) to cycle-based units and "
+                             "journal the invariant-violation counts")
     args = parser.parse_args(argv)
 
     names = list(RUNNERS)
@@ -123,11 +135,14 @@ def _run_command(argv) -> int:
     scale = SCALES[args.scale]
     if args.trace_window:
         scale = dataclasses.replace(scale, trace_window=args.trace_window)
+    if args.sanitize:
+        scale = dataclasses.replace(scale, sanitize=True)
     started = time.time()
     if journal is not None:
         journal.event("run_start", jobs=runner.jobs,
                       cache_enabled=cache is not None,
-                      experiments=names, scale=args.scale)
+                      experiments=names, scale=args.scale,
+                      sanitize=args.sanitize)
     for name in names:
         result = _invoke(name, scale, runner)
         print(render(result))
@@ -216,6 +231,44 @@ def _trace_command(argv) -> int:
     return 0
 
 
+def _lint_command(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis lint",
+        description="AST-based invariant lint over the tree "
+                    "(docs/LINTING.md).",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint files in N worker processes "
+                             "(default: 1, serial)")
+    parser.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                        help="run only these rule ids (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files to lint (default: src/repro + scripts)")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    from ..check import all_rules, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = "project" if rule.scope == "project" else "file"
+            print(f"{rule.id:24s} {rule.severity:8s} {scope:8s} "
+                  f"{rule.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [rule_id.strip() for rule_id in args.rules.split(",")
+                 if rule_id.strip()]
+    files = [Path(p) for p in args.paths] or None
+    report = run_lint(files=files, rules=rules, jobs=args.jobs)
+    print(report.render())
+    return report.exit_code
+
+
 def _legacy_command(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -250,6 +303,8 @@ def main(argv=None) -> int:
         return _run_command(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_command(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_command(argv[1:])
     return _legacy_command(argv)
 
 

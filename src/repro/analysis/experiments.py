@@ -82,10 +82,14 @@ class ExperimentScale:
     #: and journal a windowed timeline digest (this many demand accesses
     #: per window).  ``None`` keeps the zero-overhead null tracer.
     trace_window: Optional[int] = None
+    #: Run cycle-based units with the memory-model sanitizer attached
+    #: (``repro.check.sanitizer``, docs/LINTING.md); unit outputs and
+    #: the run journal then carry the violation counts.
+    sanitize: bool = False
 
     def sim(self, **overrides) -> SimulationConfig:
         defaults = dict(n_events=self.n_events, scale=self.scale,
-                        seed=self.seed)
+                        seed=self.seed, sanitize=self.sanitize)
         defaults.update(overrides)
         return SimulationConfig(**defaults)
 
@@ -217,11 +221,14 @@ def _unit_fig4(benchmark: str, scale: ExperimentScale) -> dict:
     row: Dict[str, Any] = {"benchmark": profile.name}
     stats = None
     timeline = None
+    violations = None
     for label, config in configs.items():
         prefix = "fixed" if label.startswith("fixed") else "var"
         run = _simulate_with_config(profile, config, scale)
         stats = run.controller_stats
         timeline = run.timeline
+        if run.sanitizer_violations is not None:
+            violations = (violations or 0) + run.sanitizer_violations
         breakdown = stats.breakdown()
         row[f"{prefix}:total"] = stats.relative_extra_accesses()
         row[f"{prefix}:split"] = breakdown["split"]
@@ -230,6 +237,8 @@ def _unit_fig4(benchmark: str, scale: ExperimentScale) -> dict:
     output = {"row": row, "stats": _stats_summary(stats)}
     if timeline is not None:
         output["timeline"] = timeline
+    if violations is not None:
+        output["sanitizer"] = {"violations": violations}
     return output
 
 
@@ -282,14 +291,19 @@ def _unit_fig6(benchmark: str, scale: ExperimentScale) -> dict:
     row: Dict[str, Any] = {"benchmark": profile.name}
     stats = None
     timeline = None
+    violations = None
     for name, config in optimization_ladder():
         run = _simulate_with_config(profile, config, scale)
         stats = run.controller_stats
         timeline = run.timeline
+        if run.sanitizer_violations is not None:
+            violations = (violations or 0) + run.sanitizer_violations
         row[name] = stats.relative_extra_accesses()
     output = {"row": row, "stats": _stats_summary(stats)}
     if timeline is not None:
         output["timeline"] = timeline
+    if violations is not None:
+        output["sanitizer"] = {"violations": violations}
     return output
 
 

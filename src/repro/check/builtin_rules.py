@@ -1,0 +1,337 @@
+"""Built-in reprolint rules (the catalog lives in docs/LINTING.md).
+
+Each rule enforces an invariant the repo used to check with ad-hoc
+regex scripts — or could not check at all.  Rules that need to inspect
+runtime types (``ControllerStats`` fields, the ``EVENT_SOURCES``
+registry, config dataclasses) import them lazily inside ``check`` so
+this module never drags ``repro.core`` in at import time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .findings import Finding
+from .rules import ModuleSource, ProjectRule, Rule, dotted_name, register
+
+#: Directories whose modules form the simulated hot path: wall-clock
+#: reads or unseeded randomness here would break run reproducibility
+#: and content-addressed result caching.
+HOT_PATH_DIRS = ("src/repro/core", "src/repro/memory", "src/repro/compression")
+
+#: Markdown files whose relative links must resolve.
+DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
+        "docs/OBSERVABILITY.md", "docs/LINTING.md")
+
+#: (module path, class name) pairs whose public fields must be named in
+#: the documentation set scanned by ``config-knob-documented``.
+CONFIG_CLASSES = (
+    ("src/repro/core/config.py", "CompressoConfig"),
+    ("src/repro/simulation/simulator.py", "SimulationConfig"),
+    ("src/repro/analysis/experiments.py", "ExperimentScale"),
+)
+
+#: How many lines around a stats increment may hold its tracer call
+#: (mirrors the historical ``scripts/check_instrumentation.py`` rule).
+NEIGHBORHOOD = 4
+
+_TRACER_CALL = re.compile(r"\.(emit|tick)\(")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+@register
+class ModuleDocstringRule(Rule):
+    """Every module under ``src/repro/`` opens with a docstring."""
+
+    id = "module-docstring"
+    severity = "error"
+    description = "src/repro modules must have a module docstring"
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs("src/repro")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        if not ast.get_docstring(module.tree):
+            yield module.finding(1, self.id, self.severity,
+                                 "missing module docstring")
+
+
+@register
+class StatsEmitRule(Rule):
+    """Every ``stats.<counter> +=`` in core/ has a nearby emit/tick.
+
+    The observability layer reconciles trace timelines against the
+    aggregate counters (docs/OBSERVABILITY.md); an increment without a
+    matching tracer call would silently desynchronize them.
+    """
+
+    id = "stats-emit"
+    severity = "error"
+    description = ("stats counter increments in core/ need a tracer "
+                   "emit/tick within a few lines")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs("src/repro/core")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            target = node.target
+            if not isinstance(target, ast.Attribute):
+                continue
+            base = dotted_name(target.value)
+            if base is None or base.split(".")[-1] != "stats":
+                continue
+            low = max(0, node.lineno - 1 - NEIGHBORHOOD)
+            high = min(len(module.lines), node.lineno + NEIGHBORHOOD)
+            window = "\n".join(module.lines[low:high])
+            if not _TRACER_CALL.search(window):
+                yield module.finding(
+                    node.lineno, self.id, self.severity,
+                    f"stats.{target.attr} += has no tracer emit/tick "
+                    f"within {NEIGHBORHOOD} lines")
+
+
+@register
+class EmitRegisteredRule(Rule):
+    """String-literal event names passed to ``.emit(`` are registered.
+
+    An unregistered name would silently drop out of the per-source
+    timelines built by ``repro.obs.timeline``.
+    """
+
+    id = "emit-registered"
+    severity = "error"
+    description = ("event names emitted as string literals must exist "
+                   "in repro.obs.tracer.EVENT_SOURCES")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs("src/repro")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        from ..obs.tracer import EVENT_SOURCES
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit" and node.args):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                name = first.value
+                if name not in EVENT_SOURCES:
+                    yield module.finding(
+                        node.lineno, self.id, self.severity,
+                        f"emit({name!r}) is not registered in "
+                        f"repro.obs.tracer.EVENT_SOURCES")
+
+
+@register
+class HotPathWallClockRule(Rule):
+    """No wall-clock or nondeterministic randomness in hot-path modules.
+
+    Simulated time comes from the tracer's access clock; wall-clock
+    reads or unseeded RNG calls in core/, memory/ or compression/ would
+    make results irreproducible and poison the content-addressed
+    experiment cache (docs/RUNNER.md).
+    """
+
+    id = "hot-path-wallclock"
+    severity = "error"
+    description = ("no time.*/random.* calls inside core/, memory/, "
+                   "compression/ hot paths")
+
+    #: Call-name prefixes that read the wall clock or global RNG state.
+    BANNED = ("time.", "random.", "np.random.", "numpy.random.", "datetime.")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs(*HOT_PATH_DIRS)
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if any(name == prefix[:-1] or name.startswith(prefix)
+                   for prefix in self.BANNED):
+                yield module.finding(
+                    node.lineno, self.id, self.severity,
+                    f"call to {name}() in a hot-path module; use the "
+                    f"tracer clock or a seeded RandomState passed in")
+
+
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default arguments anywhere in the tree.
+
+    A ``[]``/``{}``/``set()`` default is evaluated once and shared by
+    every call — the classic aliasing bug.
+    """
+
+    id = "mutable-default"
+    severity = "error"
+    description = "function defaults must not be mutable literals"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield module.finding(
+                        default.lineno, self.id, self.severity,
+                        f"mutable default argument in {node.name}(); "
+                        f"use None and create inside the function")
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in MutableDefaultRule._MUTABLE_CALLS)
+
+
+@register
+class StatsFieldExistsRule(Rule):
+    """``stats.<attr>`` references in obs/analysis name real fields.
+
+    The observability and analysis layers read ``ControllerStats``
+    loosely (duck-typed attribute access); a renamed counter would
+    otherwise only fail at runtime, possibly deep inside a long run.
+    """
+
+    id = "stats-field-exists"
+    severity = "error"
+    description = ("ControllerStats attributes referenced in obs/ and "
+                   "analysis/ must exist on the dataclass")
+
+    _BASES = {"stats", "cstats", "controller_stats"}
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs("src/repro/obs", "src/repro/analysis")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        known = self._known_attrs()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            base = None
+            if isinstance(value, ast.Name):
+                base = value.id
+            elif isinstance(value, ast.Attribute):
+                base = value.attr
+            if base not in self._BASES:
+                continue
+            if node.attr not in known:
+                yield module.finding(
+                    node.lineno, self.id, self.severity,
+                    f"ControllerStats has no attribute {node.attr!r}")
+
+    @staticmethod
+    def _known_attrs() -> set:
+        import dataclasses
+
+        from ..core.stats import ControllerStats
+        known = {f.name for f in dataclasses.fields(ControllerStats)}
+        known.update(dir(ControllerStats))
+        return known
+
+
+@register
+class DocLinksRule(ProjectRule):
+    """Relative markdown links in the documented set resolve to files."""
+
+    id = "doc-links"
+    severity = "error"
+    description = "relative links in README/DESIGN/EXPERIMENTS/docs resolve"
+
+    def check_project(self, root: Path) -> Iterable[Finding]:
+        for doc in DOCS:
+            path = root / doc
+            if not path.exists():
+                yield Finding(doc, 0, self.id, self.severity, "file missing")
+                continue
+            # Fenced code blocks can contain bracket/paren sequences
+            # that look like links (table output, comprehensions).
+            text = _FENCE.sub(lambda m: "\n" * m.group(0).count("\n"),
+                              path.read_text())
+            for number, line in enumerate(text.splitlines(), start=1):
+                for match in _LINK.finditer(line):
+                    target = match.group(1)
+                    if target.startswith(_EXTERNAL):
+                        continue
+                    target = target.split("#", 1)[0]
+                    if target and not (path.parent / target).exists():
+                        yield Finding(doc, number, self.id, self.severity,
+                                      f"broken link -> {target}")
+
+
+@register
+class ConfigKnobDocumentedRule(ProjectRule):
+    """Every public config knob is named somewhere in the docs.
+
+    Scans the fields of the classes in :data:`CONFIG_CLASSES` and
+    requires each name to appear (as a whole word) in README.md,
+    DESIGN.md, EXPERIMENTS.md or docs/*.md — the design reference in
+    DESIGN.md keeps the full table.
+    """
+
+    id = "config-knob-documented"
+    severity = "error"
+    description = "public config dataclass fields must appear in the docs"
+
+    def check_project(self, root: Path) -> Iterable[Finding]:
+        docs_text = self._docs_text(root)
+        for relpath, class_name in CONFIG_CLASSES:
+            source = root / relpath
+            if not source.exists():
+                yield Finding(relpath, 0, self.id, self.severity,
+                              f"config module missing ({class_name})")
+                continue
+            for name, line in self._field_lines(source, class_name):
+                if not re.search(rf"\b{re.escape(name)}\b", docs_text):
+                    yield Finding(
+                        relpath, line, self.id, self.severity,
+                        f"{class_name}.{name} is not mentioned in any "
+                        f"documentation file")
+
+    @staticmethod
+    def _docs_text(root: Path) -> str:
+        parts: List[str] = []
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            path = root / name
+            if path.exists():
+                parts.append(path.read_text())
+        for path in sorted((root / "docs").glob("*.md")):
+            parts.append(path.read_text())
+        return "\n".join(parts)
+
+    @staticmethod
+    def _field_lines(source: Path, class_name: str
+                     ) -> List[Tuple[str, int]]:
+        """(field name, line) pairs of a dataclass's annotated fields."""
+        tree = ast.parse(source.read_text(), filename=str(source))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                return [
+                    (stmt.target.id, stmt.lineno)
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                ]
+        return []

@@ -1,0 +1,129 @@
+"""reprolint driver: file discovery, parallel fan-out, reporting.
+
+``run_lint`` walks the tree, runs every file rule against every
+matching Python file (optionally across a ``multiprocessing`` pool —
+files are independent, so the fan-out is embarrassingly parallel),
+runs project rules once in the parent, applies inline suppressions,
+and returns a :class:`LintReport`.
+
+``lint_file`` is the module-level worker (picklable by reference, like
+the experiment runner's work units).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .findings import Finding, format_finding
+from .rules import ModuleSource, ProjectRule, all_rules, get_rule
+
+#: Repo-relative directories lint walks for Python files by default.
+DEFAULT_LINT_DIRS = ("src/repro", "scripts")
+
+
+def repo_root(start: Optional[Path] = None) -> Path:
+    """The repository root: the nearest ancestor holding ``src/repro``."""
+    here = Path(start) if start is not None else Path(__file__).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    raise FileNotFoundError("cannot locate the repo root (src/repro)")
+
+
+def discover_files(root: Path,
+                   dirs: Sequence[str] = DEFAULT_LINT_DIRS) -> List[Path]:
+    """Python files under the lint directories, sorted for determinism."""
+    files: List[Path] = []
+    for directory in dirs:
+        base = root / directory
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.py")))
+    return files
+
+
+class LintReport:
+    """Outcome of one lint run."""
+
+    def __init__(self, findings: Sequence[Finding], suppressed: int,
+                 n_files: int, n_rules: int) -> None:
+        self.findings = sorted(findings)
+        self.suppressed = suppressed
+        self.n_files = n_files
+        self.n_rules = n_rules
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding survived suppression."""
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        lines = [format_finding(finding) for finding in self.findings]
+        status = "OK" if self.ok else f"{len(self.errors)} error(s)"
+        suffix = f", {self.suppressed} suppressed" if self.suppressed else ""
+        lines.append(
+            f"reprolint: {status} ({self.n_files} files, "
+            f"{self.n_rules} rules{suffix})")
+        return "\n".join(lines)
+
+
+def lint_file(path: str, root: str,
+              rule_ids: Sequence[str]) -> Tuple[List[Finding], int]:
+    """Run the file-scoped rules against one file.
+
+    Returns (kept findings, suppressed count).  Module-level so it can
+    cross the multiprocessing boundary by reference.
+    """
+    module = ModuleSource(Path(path), Path(root))
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule_id in rule_ids:
+        rule = get_rule(rule_id)
+        if rule.scope != "file" or not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if module.suppressed(finding.line, finding.rule):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def run_lint(root: Optional[Path] = None,
+             files: Optional[Sequence[Path]] = None,
+             rules: Optional[Sequence[str]] = None,
+             jobs: int = 1) -> LintReport:
+    """Lint the tree (or an explicit file list) and return the report."""
+    root = repo_root() if root is None else Path(root)
+    selected = ([get_rule(rule_id) for rule_id in rules]
+                if rules is not None else all_rules())
+    file_rule_ids = [r.id for r in selected if r.scope == "file"]
+    project_rules = [r for r in selected if isinstance(r, ProjectRule)]
+    paths = list(files) if files is not None else discover_files(root)
+
+    findings: List[Finding] = []
+    suppressed = 0
+    payloads = [(str(path), str(root), file_rule_ids) for path in paths]
+    if jobs > 1 and len(payloads) > 1:
+        with multiprocessing.Pool(processes=min(jobs, len(payloads))) as pool:
+            results = pool.starmap(lint_file, payloads)
+    else:
+        results = [lint_file(*payload) for payload in payloads]
+    for kept, dropped in results:
+        findings.extend(kept)
+        suppressed += dropped
+
+    for rule in project_rules:
+        findings.extend(rule.check_project(root))
+
+    return LintReport(findings, suppressed, n_files=len(paths),
+                      n_rules=len(selected))

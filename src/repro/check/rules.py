@@ -1,0 +1,178 @@
+"""Rule base classes, the rule registry, and per-file source context.
+
+A rule is a small class with a unique ``id``; the :func:`register`
+decorator adds it to the process-wide registry the driver draws from.
+Two scopes exist:
+
+* :class:`Rule` (``scope = "file"``) — called once per Python file
+  with a :class:`ModuleSource` (text, lines, parsed AST, suppression
+  map) and yields :class:`~repro.check.findings.Finding` objects;
+* :class:`ProjectRule` (``scope = "project"``) — called once per lint
+  run with the repo root (markdown link checking, cross-file
+  consistency).
+
+Suppressions are inline comments::
+
+    problem_line = ...  # reprolint: disable=mutable-default
+    # reprolint: disable=hot-path-wallclock   (suppresses the next line)
+
+A finding is dropped when its line — or the standalone comment line
+directly above it — carries a ``disable=`` listing its rule id (or
+``all``).  Suppressed findings are counted, never silently lost.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Type
+
+from .findings import Finding
+
+_SUPPRESS = re.compile(r"#\s*reprolint:\s*disable=([\w,\-]+)")
+
+
+class ModuleSource:
+    """One Python file prepared for linting: text, lines, AST, suppressions."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = Path(path)
+        self.root = Path(root)
+        self.relpath = self.path.relative_to(self.root).as_posix()
+        self.text = self.path.read_text()
+        self.lines = self.text.splitlines()
+        self._tree: Optional[ast.Module] = None
+        self._suppressions: Optional[Dict[int, Set[str]]] = None
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed AST (parsed once, shared by every rule)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=str(self.path))
+        return self._tree
+
+    @property
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """Line number -> rule ids disabled on that line.
+
+        A standalone suppression comment also covers the next line, so
+        long statements can carry their waiver above themselves.
+        """
+        if self._suppressions is None:
+            table: Dict[int, Set[str]] = {}
+            for number, line in enumerate(self.lines, start=1):
+                match = _SUPPRESS.search(line)
+                if not match:
+                    continue
+                ids = {part.strip() for part in match.group(1).split(",")
+                       if part.strip()}
+                table.setdefault(number, set()).update(ids)
+                if line.lstrip().startswith("#"):
+                    table.setdefault(number + 1, set()).update(ids)
+            self._suppressions = table
+        return self._suppressions
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        ids = self.suppressions.get(line)
+        return bool(ids) and (rule_id in ids or "all" in ids)
+
+    def in_dirs(self, *dirs: str) -> bool:
+        """Does this file live under any of the given repo-relative dirs?"""
+        return any(self.relpath.startswith(d.rstrip("/") + "/")
+                   or self.relpath == d for d in dirs)
+
+    def finding(self, line: int, rule_id: str, severity: str,
+                message: str) -> Finding:
+        return Finding(path=self.relpath, line=line, rule=rule_id,
+                       severity=severity, message=message)
+
+
+class Rule(abc.ABC):
+    """A per-file AST lint rule."""
+
+    #: Unique registry key, kebab-case.
+    id: str = "abstract"
+    severity: str = "error"
+    #: One-line description for ``--list-rules`` and the doc catalog.
+    description: str = ""
+    scope: str = "file"
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        """Cheap pre-filter; default: every Python file offered."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        """Yield findings for one file."""
+
+
+class ProjectRule(Rule):
+    """A rule that runs once per lint run over the whole tree."""
+
+    scope = "project"
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return False
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        return ()
+
+    @abc.abstractmethod
+    def check_project(self, root: Path) -> Iterable[Finding]:
+        """Yield findings for the repository as a whole."""
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (ids must be unique)."""
+    if not cls.id or cls.id == "abstract":
+        raise ValueError(f"rule {cls.__name__} needs a concrete id")
+    existing = _REGISTRY.get(cls.id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    _ensure_builtins()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in rule module so its @register calls run."""
+    from . import builtin_rules  # noqa: F401
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """All Call nodes in a tree (shared helper for several rules)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

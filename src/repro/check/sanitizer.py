@@ -1,0 +1,316 @@
+"""Memory-model sanitizer: shadow-state invariant checking.
+
+Compresso's correctness rests on layout invariants the paper states
+but code can silently violate.  The sanitizer re-derives every page's
+layout from its metadata after each controller operation and verifies:
+
+* **no-overlap** — packed line slots never overlap each other, and the
+  inflation room sits strictly above the packed data (§II-C, §III);
+* **bounds / bins** — every slot offset and size lies inside the page's
+  allocation, and every slot size is one of the configured line bins
+  (0/8/32/64 B for Compresso, §IV-B1);
+* **layout-desync** — the controller's cached :class:`PageLayout`
+  matches the layout re-derived from metadata bit fields (line bins +
+  inflation pointers), so metadata and working state never drift;
+* **inflation room** — pointer count within the 17-pointer budget, no
+  duplicate pointers, and the room inside the allocation (§III);
+* **allocator ownership** — the set of 512 B chunks (or buddy regions)
+  referenced by page metadata is exactly the set the allocator has
+  allocated: a chunk referenced but free is a double-free in waiting,
+  an allocated chunk no page references is a leak (§II-D).
+
+Violations are recorded as :class:`InvariantViolation` objects and
+reported through the observability tracer as ``sanitizer_violation``
+events; pass ``raise_on_violation=True`` to fail fast in tests.
+
+Enable via ``CompressedMemoryController(..., sanitize=True)``,
+``SimulationConfig(sanitize=True)``, or ``python -m repro.analysis run
+--sanitize`` (the run journal then records the sanitized run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..obs.tracer import NULL_TRACER
+
+
+class SanitizerError(AssertionError):
+    """Raised on the first violation when ``raise_on_violation`` is set."""
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected invariant violation."""
+
+    invariant: str               # e.g. "line-overlap", "alloc-leak"
+    page: Optional[int]          # OSPA page, when page-scoped
+    detail: str
+
+    def __str__(self) -> str:
+        where = f"page {self.page}" if self.page is not None else "global"
+        return f"[{self.invariant}] {where}: {self.detail}"
+
+
+class MemorySanitizer:
+    """Shadow-state checker for a ``CompressedMemoryController``.
+
+    The sanitizer holds no authoritative state of its own: every check
+    re-derives expectations from page metadata and compares them with
+    the controller's working state and the allocator's books, so a
+    corruption on either side surfaces as a disagreement.
+    """
+
+    def __init__(self, config, tracer=NULL_TRACER,
+                 raise_on_violation: bool = False) -> None:
+        self.config = config
+        self.tracer = tracer
+        self.raise_on_violation = raise_on_violation
+        self.violations: List[InvariantViolation] = []
+        self.checks = 0
+
+    # -- entry points -----------------------------------------------------
+
+    def after_op(self, controller, page: Optional[int] = None) -> None:
+        """Verify the touched page plus global allocator accounting."""
+        self.checks += 1
+        if page is not None:
+            state = controller.pages.get(page)
+            if state is not None:
+                self.check_page(controller, page, state)
+        self.check_allocator(controller)
+
+    def check_all(self, controller) -> None:
+        """Full sweep: every resident page, then the allocator books."""
+        self.checks += 1
+        for page, state in controller.pages.items():
+            self.check_page(controller, page, state)
+        self.check_allocator(controller)
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    # -- page-scoped invariants -------------------------------------------
+
+    def check_page(self, controller, page: int, state) -> None:
+        config = self.config
+        meta = state.meta
+        if not meta.valid or meta.zero:
+            if meta.size_chunks or meta.mpfns or state.region_base is not None:
+                self._report("zero-page-storage", page,
+                             f"invalid/zero page holds storage "
+                             f"(size_chunks={meta.size_chunks})")
+            return
+
+        allocation = meta.size_chunks * config.chunk_size
+        self._check_metadata(controller, page, state, allocation)
+        if meta.compressed:
+            self._check_layout(controller, page, state, allocation)
+        else:
+            self._check_uncompressed(page, state)
+
+    def _check_metadata(self, controller, page: int, state,
+                        allocation: int) -> None:
+        meta = state.meta
+        config = self.config
+        if meta.size_chunks < 0 or meta.size_chunks > config.max_chunks_per_page:
+            self._report("metadata-desync", page,
+                         f"size_chunks out of range: {meta.size_chunks}")
+        if len(meta.line_bins) != config.lines_per_page:
+            self._report("metadata-desync", page,
+                         f"{len(meta.line_bins)} line bins for "
+                         f"{config.lines_per_page} lines")
+        n_bins = len(config.line_bins)
+        bad_bins = [b for b in meta.line_bins if b < 0 or b >= n_bins]
+        if bad_bins:
+            self._report("metadata-desync", page,
+                         f"line bin index out of range: {bad_bins[:4]}")
+        if config.allocation == "chunks":
+            if len(meta.mpfns) != meta.size_chunks:
+                self._report("metadata-desync", page,
+                             f"{len(meta.mpfns)} MPFNs for "
+                             f"{meta.size_chunks} chunks")
+            total = controller.memory.allocator.total_chunks
+            for mpfn in meta.mpfns:
+                if mpfn < 0 or mpfn >= total:
+                    self._report("metadata-desync", page,
+                                 f"MPFN {mpfn} outside machine memory "
+                                 f"({total} chunks)")
+        else:
+            if meta.size_chunks and state.region_base is None:
+                self._report("metadata-desync", page,
+                             "allocated page has no region base")
+
+        inflated = meta.inflated_lines
+        if len(inflated) > config.max_inflation_pointers:
+            self._report("inflation-room", page,
+                         f"{len(inflated)} inflated lines exceed "
+                         f"{config.max_inflation_pointers} pointers (§III)")
+        if len(set(inflated)) != len(inflated):
+            self._report("inflation-room", page,
+                         f"duplicate inflation pointers: {inflated}")
+        out = [i for i in inflated
+               if i < 0 or i >= config.lines_per_page]
+        if out:
+            self._report("inflation-room", page,
+                         f"inflation pointer to nonexistent line: {out}")
+
+    def _check_layout(self, controller, page: int, state,
+                      allocation: int) -> None:
+        packer = controller.packer
+        meta = state.meta
+        try:
+            derived = packer.layout_from_bins(meta.line_bins,
+                                              meta.inflated_lines)
+        except (ValueError, IndexError) as exc:
+            self._report("metadata-desync", page,
+                         f"metadata does not describe a layout: {exc}")
+            return
+
+        cached = state.layout
+        if cached is not None and (
+            cached.slot_offsets != derived.slot_offsets
+            or cached.slot_sizes != derived.slot_sizes
+            or tuple(cached.inflated_lines) != tuple(derived.inflated_lines)
+        ):
+            self._report("layout-desync", page,
+                         "cached layout disagrees with metadata-derived "
+                         "layout (bins/pointers drifted)")
+        layout = cached if cached is not None else derived
+
+        # Slot sizes must be legal bins; offsets/extent inside the
+        # allocation (§IV-B1 bins, §II-D allocation).
+        legal = set(packer.line_bins)
+        slots = []
+        for line, (offset, size) in enumerate(
+                zip(layout.slot_offsets, layout.slot_sizes)):
+            if size not in legal:
+                self._report("bin-alignment", page,
+                             f"line {line} slot size {size} is not one of "
+                             f"the configured bins {sorted(legal)}")
+            if size == 0 or line in layout.inflated_lines:
+                continue
+            if offset < 0 or offset + size > allocation:
+                self._report("offset-bounds", page,
+                             f"line {line} slot [{offset}, {offset + size}) "
+                             f"outside the {allocation} B allocation")
+            slots.append((offset, size, line))
+
+        slots.sort()
+        for (off_a, size_a, line_a), (off_b, _size_b, line_b) in zip(
+                slots, slots[1:]):
+            if off_a + size_a > off_b:
+                self._report("line-overlap", page,
+                             f"lines {line_a} and {line_b} overlap: "
+                             f"[{off_a}, {off_a + size_a}) vs offset {off_b}")
+
+        # Inflation room: above the packed data, inside the allocation,
+        # 64 B-aligned so inflated lines never split (§III).
+        if layout.inflated_lines:
+            base = layout.inflation_base
+            end = base + layout.inflation_bytes
+            if base % 64:
+                self._report("inflation-room", page,
+                             f"inflation room base {base} not 64 B-aligned")
+            if base < layout.data_bytes:
+                self._report("inflation-room", page,
+                             f"inflation room (base {base}) overlaps packed "
+                             f"data ({layout.data_bytes} B)")
+            if end > allocation:
+                self._report("inflation-room", page,
+                             f"inflation room [{base}, {end}) outside the "
+                             f"{allocation} B allocation")
+        elif layout.total_bytes > allocation:
+            self._report("offset-bounds", page,
+                         f"packed data ({layout.total_bytes} B) exceeds the "
+                         f"{allocation} B allocation")
+
+    def _check_uncompressed(self, page: int, state) -> None:
+        config = self.config
+        meta = state.meta
+        if meta.size_chunks != config.max_chunks_per_page:
+            self._report("metadata-desync", page,
+                         f"uncompressed page has {meta.size_chunks} chunks, "
+                         f"expected {config.max_chunks_per_page}")
+        raw_bin = len(config.line_bins) - 1
+        if any(b != raw_bin for b in meta.line_bins):
+            self._report("metadata-desync", page,
+                         "uncompressed page has non-raw line bins")
+        if meta.inflated_lines:
+            self._report("inflation-room", page,
+                         "uncompressed page has inflation pointers")
+
+    # -- allocator ownership (§II-D) --------------------------------------
+
+    def check_allocator(self, controller) -> None:
+        if self.config.allocation == "chunks":
+            self._check_chunk_ownership(controller)
+        else:
+            self._check_region_ownership(controller)
+
+    def _check_chunk_ownership(self, controller) -> None:
+        owner: Dict[int, int] = {}
+        for page, state in controller.pages.items():
+            for chunk in state.meta.mpfns:
+                if chunk in owner:
+                    self._report("alloc-ownership", page,
+                                 f"chunk {chunk} owned by both page "
+                                 f"{owner[chunk]} and page {page}")
+                else:
+                    owner[chunk] = page
+        allocated = controller.memory.allocator.owned_chunks()
+        for chunk, page in owner.items():
+            if chunk not in allocated:
+                self._report("alloc-double-free", page,
+                             f"page {page} references chunk {chunk} the "
+                             f"allocator has already freed")
+        leaked = allocated - set(owner)
+        if leaked:
+            self._report("alloc-leak", None,
+                         f"{len(leaked)} chunk(s) allocated but referenced "
+                         f"by no page, e.g. {sorted(leaked)[:4]}")
+
+    def _check_region_ownership(self, controller) -> None:
+        owner: Dict[int, int] = {}
+        for page, state in controller.pages.items():
+            base = state.region_base
+            if base is None:
+                continue
+            if base in owner:
+                self._report("alloc-ownership", page,
+                             f"region {base} owned by both page "
+                             f"{owner[base]} and page {page}")
+            else:
+                owner[base] = page
+        regions = controller.memory.allocator.owned_regions()
+        chunk = self.config.chunk_size
+        for base, page in owner.items():
+            if base not in regions:
+                self._report("alloc-double-free", page,
+                             f"page {page} references region {base} the "
+                             f"allocator has already freed")
+            else:
+                state = controller.pages[page]
+                need = state.meta.size_chunks * chunk
+                if regions[base] < need:
+                    self._report("alloc-ownership", page,
+                                 f"region {base} holds {regions[base]} B but "
+                                 f"page {page} needs {need} B")
+        leaked = set(regions) - set(owner)
+        if leaked:
+            self._report("alloc-leak", None,
+                         f"{len(leaked)} region(s) allocated but referenced "
+                         f"by no page, e.g. {sorted(leaked)[:4]}")
+
+    # -- reporting --------------------------------------------------------
+
+    def _report(self, invariant: str, page: Optional[int],
+                detail: str) -> None:
+        violation = InvariantViolation(invariant, page, detail)
+        self.violations.append(violation)
+        self.tracer.emit("sanitizer_violation", page=page,
+                         invariant=invariant, detail=detail)
+        if self.raise_on_violation:
+            raise SanitizerError(str(violation))

@@ -15,6 +15,11 @@ using the same arithmetic the hardware would.  Payload bytes are kept
 in a per-page shadow (``PageState.data``) rather than serialized into a
 byte array — the bit streams themselves are exercised and verified in
 the compression package.
+
+Construct with ``sanitize=True`` to attach the memory-model sanitizer
+(:class:`repro.check.sanitizer.MemorySanitizer`, docs/LINTING.md),
+which re-verifies the layout, inflation-room and allocator-ownership
+invariants after every operation.
 """
 
 from __future__ import annotations
@@ -95,7 +100,8 @@ class CompressedMemoryController:
     """OSPA→MPA translation and compressed data management."""
 
     def __init__(self, config: CompressoConfig, geometry: MemoryGeometry,
-                 burst_buffer_blocks: int = 16, tracer=NULL_TRACER) -> None:
+                 burst_buffer_blocks: int = 16, tracer=NULL_TRACER,
+                 sanitize: bool = False) -> None:
         self.config = config
         self.geometry = geometry
         self.tracer = tracer
@@ -133,6 +139,15 @@ class CompressedMemoryController:
         #: OSPA page of the in-flight operation: the balloon must not
         #: reclaim the page the controller is currently operating on.
         self._active_page: Optional[int] = None
+        #: Shadow-state invariant checker (docs/LINTING.md): verifies
+        #: layout, inflation-room and allocator-ownership invariants
+        #: after every operation when enabled.
+        if sanitize:
+            from ..check.sanitizer import MemorySanitizer
+            self.sanitizer: Optional[MemorySanitizer] = MemorySanitizer(
+                config, tracer=tracer)
+        else:
+            self.sanitizer = None
 
     # ------------------------------------------------------------------
     # public API
@@ -333,6 +348,8 @@ class CompressedMemoryController:
             meta.compressed = True
             self._apply_layout(state, layout)
             self._allocate(state, chunks)
+        if self.sanitizer is not None:
+            self.sanitizer.after_op(self, page)
 
     def compression_ratio(self) -> float:
         """Effective compression: OSPA bytes stored / MPA bytes used."""
@@ -354,6 +371,8 @@ class CompressedMemoryController:
         """Flush the metadata cache (fires repack triggers); returns traffic."""
         self.metadata_cache.flush()
         pending, self._pending = self._pending, []
+        if self.sanitizer is not None:
+            self.sanitizer.check_all(self)
         return pending
 
     def force_repack(self, page: int) -> bool:
@@ -361,7 +380,10 @@ class CompressedMemoryController:
         state = self.pages.get(page)
         if state is None or not state.meta.valid:
             return False
-        return self._maybe_repack(page, state)
+        repacked = self._maybe_repack(page, state)
+        if self.sanitizer is not None:
+            self.sanitizer.after_op(self, page)
+        return repacked
 
     def free_page(self, page: int) -> None:
         """Invalidate an OSPA page and release its storage (balloon path)."""
@@ -372,6 +394,8 @@ class CompressedMemoryController:
         self.metadata_cache.invalidate(page)
         self.predictor.drop_page(page)
         self.pages.pop(page, None)
+        if self.sanitizer is not None:
+            self.sanitizer.after_op(self)
 
     # ------------------------------------------------------------------
     # metadata path
@@ -968,4 +992,6 @@ class CompressedMemoryController:
         if self._pending:
             result.accesses.extend(self._pending)
             self._pending = []
+        if self.sanitizer is not None:
+            self.sanitizer.after_op(self, self._active_page)
         return result

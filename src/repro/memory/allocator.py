@@ -101,6 +101,15 @@ class ChunkAllocator:
     def used_bytes(self) -> int:
         return self.used_chunks * self.chunk_size
 
+    def owned_chunks(self) -> frozenset:
+        """Snapshot of currently allocated chunk ids.
+
+        Used by the memory-model sanitizer (``repro.check.sanitizer``)
+        to reconcile the allocator's books against the chunks page
+        metadata actually references.
+        """
+        return frozenset(self._allocated)
+
     def stats(self) -> AllocatorStats:
         return AllocatorStats(self.total_chunks, self.used_chunks)
 
@@ -183,6 +192,16 @@ class VariableAllocator:
 
     def region_size_bytes(self, base: int) -> int:
         return self.chunk_size << self._allocated[base]
+
+    def owned_regions(self) -> Dict[int, int]:
+        """Snapshot of allocated regions: base chunk id -> size in bytes.
+
+        Used by the memory-model sanitizer (``repro.check.sanitizer``)
+        to reconcile the buddy allocator's books against the regions
+        page state actually references.
+        """
+        return {base: self.chunk_size << order
+                for base, order in self._allocated.items()}
 
     @property
     def free_chunks(self) -> int:

@@ -72,6 +72,8 @@ EVENT_SOURCES: Dict[str, Optional[str]] = {
     "mdcache_miss": None,
     "mdcache_evict": None,
     "mdcache_half_fill": None,
+    # memory-model sanitizer (repro.check.sanitizer, docs/LINTING.md)
+    "sanitizer_violation": None,
 }
 
 

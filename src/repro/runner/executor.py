@@ -148,6 +148,9 @@ class Runner:
             if isinstance(result, dict) and isinstance(
                     result.get("timeline"), dict):
                 fields["timeline"] = result["timeline"]
+            if isinstance(result, dict) and isinstance(
+                    result.get("sanitizer"), dict):
+                fields["sanitizer"] = result["sanitizer"]
             self.journal.event("unit_end", **fields)
 
     def _progress_line(self, units: Sequence[WorkUnit], done: int,

@@ -23,7 +23,11 @@ event           required fields (beyond ``event``, ``run_id``, ``ts``)
 dict) when the unit reports one, and ``timeline`` (a
 ``repro.obs.timeline_digest`` dict — windowed extra-access totals per
 §IV source plus the peak window) when the unit ran under a tracer
-(``--trace-window`` / ``ExperimentScale.trace_window``).
+(``--trace-window`` / ``ExperimentScale.trace_window``).  When the
+unit ran with the memory-model sanitizer attached (``--sanitize`` /
+``ExperimentScale.sanitize``) it also carries ``sanitizer`` (a dict
+with the invariant ``violations`` count — see docs/LINTING.md), and
+``run_start`` records ``sanitize: true`` for the whole run.
 """
 
 from __future__ import annotations

@@ -53,6 +53,10 @@ class SimulationConfig:
     #: serialization.  Metadata fetches are already prioritized in the
     #: DRAM model, so full serialization is the honest default.
     serial_overlap: float = 1.0
+    #: Attach the memory-model sanitizer (repro.check.sanitizer): the
+    #: controller re-verifies its layout and allocator invariants after
+    #: every operation, and the result reports the violation count.
+    sanitize: bool = False
 
 
 @dataclass
@@ -75,6 +79,9 @@ class SimulationResult:
     #: Windowed trace digest (``repro.obs.timeline.timeline_digest``);
     #: only present when the run was traced.
     timeline: Optional[dict] = None
+    #: Invariant violations the memory-model sanitizer detected;
+    #: ``None`` when the run was not sanitized (``sanitize=False``).
+    sanitizer_violations: Optional[int] = None
 
     @property
     def ipc(self) -> float:
@@ -148,7 +155,8 @@ def _build_controller(system: str, workload_pages: int,
         installed_bytes=installed,
         advertised_ratio=max(2.0, (workload_pages + 64) * 4096 * 1.1 / installed),
     )
-    return CompressedMemoryController(config, geometry, tracer=tracer)
+    return CompressedMemoryController(config, geometry, tracer=tracer,
+                                      sanitize=sim.sanitize)
 
 
 class EventEngine:
@@ -241,6 +249,7 @@ def simulate(profile: BenchmarkProfile, system: str,
     cstats = controller.stats if not isinstance(
         controller, UncompressedController
     ) else None
+    sanitizer = getattr(controller, "sanitizer", None)
     return SimulationResult(
         benchmark=profile.name,
         system=system,
@@ -255,6 +264,9 @@ def simulate(profile: BenchmarkProfile, system: str,
             timeline_digest(tracer.events, tracer.digest_window,
                             end_clock=tracer.clock)
             if tracer.enabled else None
+        ),
+        sanitizer_violations=(
+            sanitizer.violation_count if sanitizer is not None else None
         ),
     )
 

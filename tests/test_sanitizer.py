@@ -1,0 +1,175 @@
+"""Mutation tests for the memory-model sanitizer (docs/LINTING.md).
+
+The sanitizer is itself a checker, so its tests are mutation tests: a
+clean controller must produce zero violations, and each deliberately
+seeded corruption — overlapping packed slots, a double-freed chunk,
+desynced metadata, duplicate inflation pointers, a leaked allocation —
+must be caught with the right invariant id.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.check import MemorySanitizer, SanitizerError
+from repro.core.config import compresso_config, lcp_config
+from repro.core.controller import CompressedMemoryController
+from repro.memory.physical import MemoryGeometry
+from repro.obs import Tracer
+from repro.simulation.simulator import SimulationConfig, simulate
+from repro.workloads.profiles import PROFILES
+
+
+def _page_lines(seed=0):
+    """64 distinct, mildly compressible lines (multiple nonzero slots)."""
+    return [bytes((seed + line * 7 + byte * 13) % 256 for byte in range(64))
+            for line in range(64)]
+
+
+def _controller(config=None, sanitize=True):
+    config = config or compresso_config()
+    controller = CompressedMemoryController(
+        config, MemoryGeometry(installed_bytes=64 << 20), sanitize=sanitize)
+    return controller
+
+
+def _invariants(controller):
+    return [v.invariant for v in controller.sanitizer.violations]
+
+
+# ---------------------------------------------------------------------------
+# clean runs
+# ---------------------------------------------------------------------------
+
+def test_clean_controller_has_no_violations():
+    controller = _controller()
+    for page in range(6):
+        controller.install_page(page, _page_lines(page))
+    for page in range(6):
+        controller.write_line(page, 3, bytes(64))
+        controller.read_line(page, 3)
+    controller.free_page(2)
+    controller.flush_metadata()
+    assert controller.sanitizer.violations == []
+    assert controller.sanitizer.checks > 0
+
+
+def test_clean_variable_allocation_run():
+    controller = _controller(config=lcp_config())
+    for page in range(6):
+        controller.install_page(page, _page_lines(page))
+    controller.free_page(1)
+    controller.flush_metadata()
+    assert controller.sanitizer.violations == []
+
+
+def test_sanitize_flag_off_means_no_sanitizer():
+    controller = _controller(sanitize=False)
+    assert controller.sanitizer is None
+
+
+# ---------------------------------------------------------------------------
+# seeded corruptions, one per invariant family
+# ---------------------------------------------------------------------------
+
+def test_corrupted_layout_offsets_are_caught():
+    controller = _controller()
+    controller.install_page(0, _page_lines())
+    state = controller.pages[0]
+    layout = controller._layout(state)
+    # squash every slot offset to half: slots now overlap, and the
+    # cached layout disagrees with the metadata-derived one
+    state.layout = dataclasses.replace(
+        layout, slot_offsets=tuple(o // 2 for o in layout.slot_offsets))
+    controller.sanitizer.check_all(controller)
+    caught = _invariants(controller)
+    assert "layout-desync" in caught
+    assert "line-overlap" in caught
+
+
+def test_double_freed_chunk_is_caught():
+    controller = _controller()
+    controller.install_page(0, _page_lines())
+    state = controller.pages[0]
+    # free one of the page's chunks behind the controller's back
+    controller.memory.allocator.free([state.meta.mpfns[0]])
+    controller.sanitizer.check_all(controller)
+    assert "alloc-double-free" in _invariants(controller)
+
+
+def test_leaked_chunks_are_caught():
+    controller = _controller()
+    controller.install_page(0, _page_lines())
+    controller.memory.allocator.allocate(2)   # no page references these
+    controller.sanitizer.check_all(controller)
+    assert "alloc-leak" in _invariants(controller)
+
+
+def test_metadata_size_desync_is_caught():
+    controller = _controller()
+    controller.install_page(0, _page_lines())
+    controller.pages[0].meta.size_chunks += 1   # mpfns no longer match
+    controller.sanitizer.check_all(controller)
+    assert "metadata-desync" in _invariants(controller)
+
+
+def test_duplicate_inflation_pointers_are_caught():
+    controller = _controller()
+    controller.install_page(0, _page_lines())
+    controller.pages[0].meta.inflated_lines = [3, 3]
+    controller.sanitizer.check_all(controller)
+    assert "inflation-room" in _invariants(controller)
+
+
+def test_allocator_refuses_direct_double_free():
+    controller = _controller()
+    controller.install_page(0, _page_lines())
+    chunk = controller.pages[0].meta.mpfns[0]
+    controller.memory.allocator.free([chunk])
+    with pytest.raises(ValueError):
+        controller.memory.allocator.free([chunk])
+
+
+def test_raise_on_violation_fails_fast():
+    config = compresso_config()
+    controller = _controller(config=config, sanitize=False)
+    controller.sanitizer = MemorySanitizer(config, raise_on_violation=True)
+    controller.install_page(0, _page_lines())
+    controller.pages[0].meta.inflated_lines = [3, 3]
+    with pytest.raises(SanitizerError):
+        controller.sanitizer.check_all(controller)
+
+
+def test_violations_reach_the_tracer():
+    config = compresso_config()
+    tracer = Tracer()
+    controller = CompressedMemoryController(
+        config, MemoryGeometry(installed_bytes=64 << 20), tracer=tracer,
+        sanitize=True)
+    controller.install_page(0, _page_lines())
+    controller.pages[0].meta.inflated_lines = [3, 3]
+    controller.sanitizer.check_all(controller)
+    events = [e for e in tracer.events if e.name == "sanitizer_violation"]
+    assert events and events[0].args["invariant"] == "inflation-room"
+
+
+# ---------------------------------------------------------------------------
+# end-to-end simulation wiring
+# ---------------------------------------------------------------------------
+
+def test_sanitized_simulation_is_clean():
+    sim = SimulationConfig(n_events=600, scale=0.01, sanitize=True)
+    result = simulate(PROFILES["gcc"], "compresso", sim)
+    assert result.sanitizer_violations == 0
+
+
+def test_sanitized_variable_allocation_simulation_is_clean():
+    sim = SimulationConfig(n_events=600, scale=0.01, sanitize=True)
+    result = simulate(PROFILES["gcc"], "lcp", sim)
+    assert result.sanitizer_violations == 0
+
+
+def test_unsanitized_simulation_reports_none():
+    sim = SimulationConfig(n_events=300, scale=0.01)
+    result = simulate(PROFILES["gcc"], "compresso", sim)
+    assert result.sanitizer_violations is None
