@@ -10,6 +10,18 @@ under ``.repro_cache/``, and a ``runs.jsonl`` run journal::
     python -m repro.analysis run --filter fig4 --trace-window 1000
     python -m repro.analysis run --filter fig4 --sanitize
 
+Robustness knobs (docs/ROBUSTNESS.md): ``--inject`` runs every
+cycle-based unit under fault injection (pairing it with
+``--sanitize recover`` unless another mode was chosen), ``--timeout``
+and ``--retries`` make the sweep crash/hang-tolerant, and ``--resume``
+reports what an interrupted run left unfinished before recomputing
+exactly those cells (finished cells come from the cache)::
+
+    python -m repro.analysis run --filter faults --scale quick
+    python -m repro.analysis run --inject line:0.01,meta:0.005
+    python -m repro.analysis run --jobs 4 --timeout 300 --retries 2
+    python -m repro.analysis run --resume
+
 The ``trace`` subcommand (docs/OBSERVABILITY.md) runs one traced
 simulation per matching benchmark and exports the event stream::
 
@@ -47,6 +59,7 @@ from . import (
     QUICK,
     render,
     run_ablation_design_space,
+    run_faults,
     run_fig2,
     run_fig4,
     run_fig6,
@@ -72,7 +85,11 @@ RUNNERS = {
     "tab2": run_tab2,
     "ablation": run_ablation_design_space,
     "sec7": run_sec7_energy_area,
+    "faults": run_faults,
 }
+
+#: ``--sanitize`` argument -> ExperimentScale.sanitize value.
+_SANITIZE_MODES = {"on": True, "strict": "strict", "recover": "recover"}
 
 SCALES = {"quick": QUICK, "default": DEFAULT, "full": FULL}
 
@@ -114,11 +131,37 @@ def _run_command(argv) -> int:
                         help="trace cycle-based units and journal a "
                              "timeline digest with N-access windows "
                              "(default: tracing off)")
-    parser.add_argument("--sanitize", action="store_true",
+    parser.add_argument("--sanitize", nargs="?", const="on", default=None,
+                        choices=sorted(_SANITIZE_MODES), metavar="MODE",
                         help="attach the memory-model sanitizer "
                              "(docs/LINTING.md) to cycle-based units and "
-                             "journal the invariant-violation counts")
+                             "journal the invariant-violation counts; "
+                             "MODE is 'on' (default), 'strict' (raise on "
+                             "the first violation) or 'recover' (repair "
+                             "detected corruption, docs/ROBUSTNESS.md)")
+    parser.add_argument("--inject", default=None, metavar="SPEC",
+                        help="fault-injection spec for cycle-based units "
+                             "(site:rate[:burst], comma-separated; see "
+                             "docs/ROBUSTNESS.md); implies "
+                             "--sanitize recover unless a mode was given")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry any unit running longer than "
+                             "this (default: no timeout)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry crashed/hung/raising units up to N "
+                             "times with exponential backoff (default: 0)")
+    parser.add_argument("--resume", action="store_true",
+                        help="report what an interrupted previous run left "
+                             "unfinished (from the journal), then rerun; "
+                             "cached cells are not recomputed")
     args = parser.parse_args(argv)
+    if args.inject:
+        from ..inject import parse_fault_spec
+        try:
+            parse_fault_spec(args.inject)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     names = list(RUNNERS)
     if args.filter:
@@ -128,21 +171,44 @@ def _run_command(argv) -> int:
         parser.error(f"no experiment matches {args.filter}; "
                      f"known: {sorted(RUNNERS)}")
 
+    if args.resume:
+        if not args.journal:
+            parser.error("--resume needs the run journal (drop --no-journal)")
+        from ..runner import find_interrupted
+        interrupted = find_interrupted(args.journal)
+        if interrupted["runs"] or interrupted["units"]:
+            print(f"resume: {len(interrupted['runs'])} interrupted run(s) "
+                  f"in {args.journal}")
+            for record in interrupted["units"]:
+                print(f"resume: unit {record['unit']!r} "
+                      f"({record['experiment']}) never finished; "
+                      "will recompute")
+        else:
+            print(f"resume: no interrupted runs in {args.journal}")
+
     cache = ResultCache(args.cache_dir) if args.cache else None
     journal = RunJournal(args.journal) if args.journal else None
     runner = Runner(jobs=args.jobs, cache=cache, journal=journal,
-                    progress=True)
+                    progress=True, timeout=args.timeout,
+                    retries=args.retries,
+                    strict=not (args.timeout or args.retries))
     scale = SCALES[args.scale]
     if args.trace_window:
         scale = dataclasses.replace(scale, trace_window=args.trace_window)
-    if args.sanitize:
-        scale = dataclasses.replace(scale, sanitize=True)
+    sanitize = args.sanitize
+    if args.inject and sanitize is None:
+        sanitize = "recover"
+    if sanitize:
+        scale = dataclasses.replace(scale,
+                                    sanitize=_SANITIZE_MODES[sanitize])
+    if args.inject:
+        scale = dataclasses.replace(scale, faults=args.inject)
     started = time.time()
     if journal is not None:
         journal.event("run_start", jobs=runner.jobs,
                       cache_enabled=cache is not None,
                       experiments=names, scale=args.scale,
-                      sanitize=args.sanitize)
+                      sanitize=sanitize)
     for name in names:
         result = _invoke(name, scale, runner)
         print(render(result))

@@ -84,12 +84,21 @@ class ExperimentScale:
     trace_window: Optional[int] = None
     #: Run cycle-based units with the memory-model sanitizer attached
     #: (``repro.check.sanitizer``, docs/LINTING.md); unit outputs and
-    #: the run journal then carry the violation counts.
-    sanitize: bool = False
+    #: the run journal then carry the violation counts.  Besides
+    #: True/False this accepts the ``"strict"`` and ``"recover"``
+    #: sanitizer modes (docs/ROBUSTNESS.md).
+    sanitize: object = False
+    #: Fault-injection spec applied to every cycle-based unit
+    #: (``repro.inject`` grammar, e.g. ``"line:0.01,meta:0.005"``);
+    #: ``None`` disables injection.  Set via ``--inject`` on the CLI,
+    #: usually together with ``sanitize="recover"``
+    #: (docs/ROBUSTNESS.md).
+    faults: Optional[str] = None
 
     def sim(self, **overrides) -> SimulationConfig:
         defaults = dict(n_events=self.n_events, scale=self.scale,
-                        seed=self.seed, sanitize=self.sanitize)
+                        seed=self.seed, sanitize=self.sanitize,
+                        faults=self.faults)
         defaults.update(overrides)
         return SimulationConfig(**defaults)
 
@@ -820,6 +829,56 @@ def run_ablation_design_space(scale: ExperimentScale = DEFAULT,
          for label in _ABLATION_BIN_SETS])
     for output in outputs:
         result.add_row(**output["row"])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fault campaign — detection/recovery coverage (docs/ROBUSTNESS.md)
+# ---------------------------------------------------------------------------
+
+#: Fault sites x rates swept by ``run_faults``.
+FAULT_SITES = ("line", "meta", "mdcache", "double-grant", "alloc-exhaust")
+FAULT_RATES = (0.005, 0.02)
+
+
+def _unit_fault_cell(site: str, rate: float,
+                     scale: ExperimentScale) -> dict:
+    """Fault-campaign cell: one (site, rate) injection run, reconciled."""
+    from ..inject import campaign_cell
+    benchmark = scale.benchmarks[0] if scale.benchmarks else "gcc"
+    cell = campaign_cell(
+        site, rate, benchmark=benchmark, seed=scale.seed,
+        n_events=max(800, scale.n_events // 4), scale=scale.scale)
+    return {"row": cell.as_row()}
+
+
+def run_faults(scale: ExperimentScale = DEFAULT,
+               runner: Optional[Runner] = None) -> ExperimentResult:
+    """Fault campaign: injected vs detected/recovered per site and rate.
+
+    Every cell runs with ``sanitize="recover"`` and reconciles each
+    injected fault id against the ``fault_*``/``recovery_*`` trace
+    events; the headline claim is ``silent == 0`` everywhere
+    (docs/ROBUSTNESS.md).
+    """
+    result = ExperimentResult(
+        experiment_id="faults",
+        title="Fault-injection campaign: detection and recovery coverage",
+        columns=["site", "rate", "injected", "detected", "recovered",
+                 "masked", "silent"],
+        notes=["Not a paper artifact: robustness validation of this "
+               "model (docs/ROBUSTNESS.md)."],
+    )
+    outputs = _run_units(
+        runner, "faults", _unit_fault_cell,
+        [(f"{site}@{rate}", {"site": site, "rate": rate, "scale": scale})
+         for site in FAULT_SITES for rate in FAULT_RATES])
+    for output in outputs:
+        result.add_row(**output["row"])
+    result.summary["injected"] = sum(
+        row["injected"] for row in result.rows)
+    result.summary["silent"] = sum(
+        row["silent"] for row in result.rows)
     return result
 
 

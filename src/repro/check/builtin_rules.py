@@ -24,7 +24,7 @@ HOT_PATH_DIRS = ("src/repro/core", "src/repro/memory", "src/repro/compression")
 
 #: Markdown files whose relative links must resolve.
 DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
-        "docs/OBSERVABILITY.md", "docs/LINTING.md")
+        "docs/OBSERVABILITY.md", "docs/LINTING.md", "docs/ROBUSTNESS.md")
 
 #: (module path, class name) pairs whose public fields must be named in
 #: the documentation set scanned by ``config-knob-documented``.
@@ -203,6 +203,93 @@ class MutableDefaultRule(Rule):
         return (isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Name)
                 and node.func.id in MutableDefaultRule._MUTABLE_CALLS)
+
+
+@register
+class BareExceptRule(Rule):
+    """No bare or silently-swallowing exception handlers.
+
+    The fault-injection work (docs/ROBUSTNESS.md) depends on faults
+    surfacing: a bare ``except:`` also catches ``KeyboardInterrupt``
+    and ``SystemExit`` (masking the runner's kill path), and an
+    ``except Exception: pass`` turns an injected fault into exactly
+    the silent corruption the campaign is supposed to rule out.
+    Broad handlers are fine when the body does something — re-raise,
+    report, degrade — so only pass/continue-only bodies are flagged.
+    """
+
+    id = "bare-except"
+    severity = "error"
+    description = ("no bare except:, and no except Exception whose body "
+                   "only passes")
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs("src/repro")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    node.lineno, self.id, self.severity,
+                    "bare except: catches KeyboardInterrupt/SystemExit; "
+                    "name the exception type")
+            elif self._broad(node.type) and self._swallows(node.body):
+                yield module.finding(
+                    node.lineno, self.id, self.severity,
+                    f"except {dotted_name(node.type)} with a pass-only "
+                    f"body silently swallows faults; handle or re-raise")
+
+    @staticmethod
+    def _broad(node: ast.AST) -> bool:
+        name = dotted_name(node)
+        return name in BareExceptRule._BROAD
+
+    @staticmethod
+    def _swallows(body: Sequence[ast.stmt]) -> bool:
+        return all(isinstance(stmt, (ast.Pass, ast.Continue))
+                   for stmt in body)
+
+
+@register
+class RecoveryTracedRule(Rule):
+    """Recovery/degraded-mode paths in core/ emit trace events.
+
+    The fault campaign (``repro.inject.campaign``) reconciles injected
+    faults against ``fault_*``/``recovery_*``/``degraded_*`` events;
+    a recovery path that never emits would make every fault it handles
+    look like a silent corruption.  Any ``core/`` function whose name
+    mentions recover/degraded/deny must contain an ``.emit(`` call.
+    """
+
+    id = "recovery-traced"
+    severity = "error"
+    description = ("core/ functions named *recover*/*degraded*/*deny* "
+                   "must emit a trace event")
+
+    _NAMES = re.compile(r"recover|degraded|deny")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs("src/repro/core")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.FunctionDef)
+                    and self._NAMES.search(node.name)):
+                continue
+            emits = any(
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "emit"
+                for inner in ast.walk(node))
+            if not emits:
+                yield module.finding(
+                    node.lineno, self.id, self.severity,
+                    f"{node.name}() looks like a recovery path but "
+                    f"never emits a trace event (docs/ROBUSTNESS.md)")
 
 
 @register

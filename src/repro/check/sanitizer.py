@@ -17,7 +17,17 @@ layout from its metadata after each controller operation and verifies:
 * **allocator ownership** — the set of 512 B chunks (or buddy regions)
   referenced by page metadata is exactly the set the allocator has
   allocated: a chunk referenced but free is a double-free in waiting,
-  an allocated chunk no page references is a leak (§II-D).
+  an allocated chunk no page references is a leak (§II-D);
+* **data-desync** — each line's recorded ideal compressed size matches
+  what the shadow payload actually compresses to, so bit flips in line
+  data surface as a size disagreement (docs/ROBUSTNESS.md);
+* **mdcache-desync** — every resident metadata-cache entry indexes its
+  own page and its half/full shape matches the page's compressed state
+  (§IV-B5);
+* **alloc-books** — the allocator's own free/allocated books are
+  coherent (no duplicate free-list entries, no chunk simultaneously
+  free and allocated); checked on full sweeps only, since the free
+  list is large.
 
 Violations are recorded as :class:`InvariantViolation` objects and
 reported through the observability tracer as ``sanitizer_violation``
@@ -80,6 +90,7 @@ class MemorySanitizer:
             if state is not None:
                 self.check_page(controller, page, state)
         self.check_allocator(controller)
+        self.check_metadata_cache(controller)
 
     def check_all(self, controller) -> None:
         """Full sweep: every resident page, then the allocator books."""
@@ -87,6 +98,8 @@ class MemorySanitizer:
         for page, state in controller.pages.items():
             self.check_page(controller, page, state)
         self.check_allocator(controller)
+        self.check_metadata_cache(controller)
+        self.check_allocator_books(controller)
 
     @property
     def violation_count(self) -> int:
@@ -106,10 +119,29 @@ class MemorySanitizer:
 
         allocation = meta.size_chunks * config.chunk_size
         self._check_metadata(controller, page, state, allocation)
+        self._check_data(controller, page, state)
         if meta.compressed:
             self._check_layout(controller, page, state, allocation)
         else:
             self._check_uncompressed(page, state)
+
+    def _check_data(self, controller, page: int, state) -> None:
+        """Shadow payload vs recorded sizes (data-desync).
+
+        Every line's ``ideal_sizes`` entry was computed from the line
+        data when it was written; recomputing it must agree.  A bit
+        flip in the shadow payload (or a corrupted size record) shows
+        up as a disagreement.  Flips that leave the compressed size
+        identical are outside this fault model (they would need ECC
+        modelling, docs/ROBUSTNESS.md).
+        """
+        sizes = state.ideal_sizes
+        for line, data in enumerate(state.data):
+            expected = 0 if data is None else controller._sizes.size_bytes(data)
+            if sizes[line] != expected:
+                self._report("data-desync", page,
+                             f"line {line} recorded size {sizes[line]} but "
+                             f"its data compresses to {expected}")
 
     def _check_metadata(self, controller, page: int, state,
                         allocation: int) -> None:
@@ -303,6 +335,39 @@ class MemorySanitizer:
             self._report("alloc-leak", None,
                          f"{len(leaked)} region(s) allocated but referenced "
                          f"by no page, e.g. {sorted(leaked)[:4]}")
+
+    # -- metadata cache (§IV-B5) -------------------------------------------
+
+    def check_metadata_cache(self, controller) -> None:
+        """Resident metadata-cache entries mirror page state."""
+        cache = controller.metadata_cache
+        for key, entry in cache.entry_items():
+            if entry.page != key:
+                self._report("mdcache-desync", key,
+                             f"entry indexed by page {key} claims page "
+                             f"{entry.page}")
+                continue
+            state = controller.pages.get(key)
+            if state is None:
+                self._report("mdcache-desync", key,
+                             "resident entry for a page with no state")
+                continue
+            expected = state.meta.is_uncompressed and cache.half_entries
+            if entry.half != expected:
+                self._report("mdcache-desync", key,
+                             f"half={entry.half} entry but the page has "
+                             f"is_uncompressed={state.meta.is_uncompressed}")
+
+    # -- allocator self-books (docs/ROBUSTNESS.md) -------------------------
+
+    def check_allocator_books(self, controller) -> None:
+        """The allocator's own free/allocated books are coherent.
+
+        Walks the whole free list, so this runs on full sweeps
+        (:meth:`check_all`, flushes, scrubs) rather than per-op.
+        """
+        for problem in controller.memory.allocator.check_books():
+            self._report("alloc-books", None, problem)
 
     # -- reporting --------------------------------------------------------
 

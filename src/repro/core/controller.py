@@ -101,7 +101,7 @@ class CompressedMemoryController:
 
     def __init__(self, config: CompressoConfig, geometry: MemoryGeometry,
                  burst_buffer_blocks: int = 16, tracer=NULL_TRACER,
-                 sanitize: bool = False) -> None:
+                 sanitize=False) -> None:
         self.config = config
         self.geometry = geometry
         self.tracer = tracer
@@ -141,13 +141,31 @@ class CompressedMemoryController:
         self._active_page: Optional[int] = None
         #: Shadow-state invariant checker (docs/LINTING.md): verifies
         #: layout, inflation-room and allocator-ownership invariants
-        #: after every operation when enabled.
+        #: after every operation when enabled.  Beyond plain True,
+        #: ``sanitize`` accepts two modes (docs/ROBUSTNESS.md):
+        #: ``"strict"`` raises :class:`SanitizerError` on the first
+        #: violation; ``"recover"`` repairs detected corruption via the
+        #: decompress-and-mark-uncompressed fallback instead of only
+        #: tracing it.
+        if sanitize not in (False, True, "strict", "recover"):
+            raise ValueError(f"unknown sanitize mode: {sanitize!r}")
+        self.recover_mode = sanitize == "recover"
         if sanitize:
             from ..check.sanitizer import MemorySanitizer
             self.sanitizer: Optional[MemorySanitizer] = MemorySanitizer(
-                config, tracer=tracer)
+                config, tracer=tracer,
+                raise_on_violation=sanitize == "strict")
         else:
             self.sanitizer = None
+        self._violation_cursor = 0
+        self._recovering = False
+        #: Degraded mode (docs/ROBUSTNESS.md): entered when machine
+        #: memory stays exhausted after ballooning and an emergency
+        #: repack sweep.  While set, new compression growth is denied
+        #: (pages park unbacked, shadow data intact) instead of the
+        #: controller raising; frees restore headroom and exit it.
+        self.degraded_mode = False
+        self._in_emergency_repack = False
 
     # ------------------------------------------------------------------
     # public API
@@ -232,6 +250,28 @@ class CompressedMemoryController:
             # The encoded size / free-space counter changed (§IV-B4).
             self.metadata_cache.mark_dirty(page)
 
+        try:
+            return self._write_line_dispatch(page, line, state, result, zero,
+                                             new_size, old_ideal_bin,
+                                             new_ideal_bin)
+        except OutOfMemoryError:
+            # Allocation denied even after pressure relief: degrade
+            # gracefully instead of surfacing the error — the shadow
+            # payload was already updated above, so reads stay correct
+            # and a later write retries via first touch.
+            self._deny_allocation(page, state)
+            return self._finish(result)
+
+    def _write_line_dispatch(self, page: int, line: int, state: PageState,
+                             result: AccessResult, zero: bool, new_size: int,
+                             old_ideal_bin: int,
+                             new_ideal_bin: int) -> AccessResult:
+        """Writeback handling after the shadow payload is updated.
+
+        Separated from :meth:`write_line` so every allocating path
+        (first touch, IR expansion, recompression, shift-grow,
+        store-uncompressed) sits under one ``OutOfMemoryError`` guard.
+        """
         meta = state.meta
         if not meta.valid or meta.zero:
             if zero:
@@ -335,21 +375,26 @@ class CompressedMemoryController:
         meta.zero = False
         layout = self._best_layout(sizes)
         chunks = self._alloc_chunks_for_layout(layout)
-        if self._should_store_raw(layout, chunks):
-            # No compression benefit: store the page uncompressed, so reads
-            # skip decompression and the metadata cache can use a half entry.
-            meta.compressed = False
-            raw_bin = len(self.config.line_bins) - 1
-            meta.line_bins = [raw_bin] * self.config.lines_per_page
-            meta.inflated_lines = []
-            state.layout = None
-            self._allocate(state, self.config.max_chunks_per_page)
-        else:
-            meta.compressed = True
-            self._apply_layout(state, layout)
-            self._allocate(state, chunks)
-        if self.sanitizer is not None:
-            self.sanitizer.after_op(self, page)
+        try:
+            if self._should_store_raw(layout, chunks):
+                # No compression benefit: store the page uncompressed, so
+                # reads skip decompression and the metadata cache can use
+                # a half entry.
+                meta.compressed = False
+                raw_bin = len(self.config.line_bins) - 1
+                meta.line_bins = [raw_bin] * self.config.lines_per_page
+                meta.inflated_lines = []
+                state.layout = None
+                self._allocate(state, self.config.max_chunks_per_page)
+            else:
+                meta.compressed = True
+                self._apply_layout(state, layout)
+                self._allocate(state, chunks)
+        except OutOfMemoryError:
+            # Machine memory exhausted: park the page unbacked instead of
+            # failing the install (docs/ROBUSTNESS.md degraded mode).
+            self._deny_allocation(page, state)
+        self._sanitize_op(page)
 
     def compression_ratio(self) -> float:
         """Effective compression: OSPA bytes stored / MPA bytes used."""
@@ -371,8 +416,7 @@ class CompressedMemoryController:
         """Flush the metadata cache (fires repack triggers); returns traffic."""
         self.metadata_cache.flush()
         pending, self._pending = self._pending, []
-        if self.sanitizer is not None:
-            self.sanitizer.check_all(self)
+        self._sanitize_all()
         return pending
 
     def force_repack(self, page: int) -> bool:
@@ -381,8 +425,7 @@ class CompressedMemoryController:
         if state is None or not state.meta.valid:
             return False
         repacked = self._maybe_repack(page, state)
-        if self.sanitizer is not None:
-            self.sanitizer.after_op(self, page)
+        self._sanitize_op(page)
         return repacked
 
     def free_page(self, page: int) -> None:
@@ -394,8 +437,8 @@ class CompressedMemoryController:
         self.metadata_cache.invalidate(page)
         self.predictor.drop_page(page)
         self.pages.pop(page, None)
-        if self.sanitizer is not None:
-            self.sanitizer.after_op(self)
+        self._maybe_exit_degraded()
+        self._sanitize_op(None)
 
     # ------------------------------------------------------------------
     # metadata path
@@ -587,13 +630,108 @@ class CompressedMemoryController:
             return self.memory.allocator.allocate_region(size_bytes)
 
     def _relieve_pressure(self, chunks_needed: int) -> None:
-        """Out of machine memory: inflate the balloon (§V-B) or fail."""
-        if self.balloon is None:
+        """Out of machine memory: balloon (§V-B), emergency-repack, or
+        enter degraded mode and deny the request (docs/ROBUSTNESS.md)."""
+        if self._in_emergency_repack:
+            # A repack relocation under pressure must not recurse into
+            # the relief machinery; the repack aborts cleanly instead.
             raise OutOfMemoryError(
-                f"machine memory exhausted ({chunks_needed} chunks needed) "
-                "and no balloon driver attached"
+                f"allocation pressure during emergency repack "
+                f"({chunks_needed} chunks)"
             )
-        self.balloon.relieve(chunks_needed)
+        if self.degraded_mode:
+            # Already degraded: deny further compression growth without
+            # re-running the relief machinery on every request.
+            raise OutOfMemoryError(
+                f"degraded mode: {chunks_needed} chunks denied"
+            )
+        if self.balloon is not None:
+            try:
+                self.balloon.relieve(chunks_needed)
+                return
+            except OutOfMemoryError:
+                pass  # balloon came up short: try the repack sweep
+        if self._emergency_repack(chunks_needed):
+            return
+        self._enter_degraded_mode(chunks_needed)
+        raise OutOfMemoryError(
+            f"machine memory exhausted ({chunks_needed} chunks needed); "
+            "entering degraded mode"
+        )
+
+    def _can_allocate(self, chunks_needed: int) -> bool:
+        """Can the allocator satisfy this request without relief?"""
+        allocator = self.memory.allocator
+        if self.config.allocation == "chunks":
+            return allocator.free_chunks >= chunks_needed
+        return (allocator.largest_free_region()
+                >= chunks_needed * self.config.chunk_size)
+
+    def _emergency_repack(self, chunks_needed: int) -> bool:
+        """Sweep resident pages with the §IV-B4 repacker to free space.
+
+        Runs when the balloon is absent or came up short; returns True
+        once the allocator can satisfy the request.  Guarded against
+        recursion: repack relocations that themselves hit the wall
+        abort instead of re-entering the sweep.
+        """
+        if self._in_emergency_repack:
+            return False
+        self._in_emergency_repack = True
+        try:
+            swept = 0
+            for page, state in list(self.pages.items()):
+                if page == self._active_page or not state.meta.valid:
+                    continue
+                if self._maybe_repack(page, state):
+                    swept += 1
+                    if self._can_allocate(chunks_needed):
+                        break
+            if swept:
+                self.stats.emergency_repacks += 1
+                self.tracer.emit("emergency_repack", pages=swept,
+                                 chunks_needed=chunks_needed)
+            return self._can_allocate(chunks_needed)
+        finally:
+            self._in_emergency_repack = False
+
+    def _enter_degraded_mode(self, chunks_needed: int) -> None:
+        """Pool dry even after relief: start denying new compression."""
+        if self.degraded_mode:
+            return
+        self.degraded_mode = True
+        self.stats.alloc_exhaustions += 1
+        self.tracer.emit("degraded_enter", chunks_needed=chunks_needed)
+
+    def _maybe_exit_degraded(self) -> None:
+        """Leave degraded mode once frees restore page-sized headroom."""
+        if not self.degraded_mode:
+            return
+        if not self._can_allocate(self.config.max_chunks_per_page):
+            return
+        self.degraded_mode = False
+        self.stats.degraded_exits += 1
+        self.tracer.emit("degraded_exit")
+
+    def _deny_allocation(self, page: int, state: PageState) -> None:
+        """Deny a storage request: park the page unbacked.
+
+        The shadow payload and its sizes survive, so reads still return
+        correct data (served via the zero/invalid metadata path) and a
+        later write retries the allocation through first touch.  Only
+        storage the corrupt-or-denied metadata provably owns is freed.
+        """
+        self._defensive_release(page, state)
+        meta = state.meta
+        meta.valid = False
+        meta.zero = True
+        meta.compressed = True
+        meta.line_bins = [0] * self.config.lines_per_page
+        meta.inflated_lines = []
+        self.metadata_cache.invalidate(page)
+        self.predictor.drop_page(page)
+        self.stats.alloc_denials += 1
+        self.tracer.emit("alloc_denied", page=page)
 
     def _release_storage(self, state: PageState) -> None:
         if self.config.allocation == "chunks":
@@ -968,9 +1106,23 @@ class CompressedMemoryController:
         )
         new_blocks = (layout.total_bytes + _BLOCK - 1) // _BLOCK
         was_uncompressed = not meta.compressed
+        old_bins = list(meta.line_bins)
+        old_inflated = list(meta.inflated_lines)
+        old_layout = state.layout
         meta.compressed = True
         self._apply_layout(state, layout)
-        self._allocate(state, new_chunks)
+        try:
+            self._allocate(state, new_chunks)
+        except OutOfMemoryError:
+            # Variable allocation relocates into a new region before
+            # freeing the old one; under exhaustion there may be nothing
+            # to relocate into.  A repack is an optimization — abort it
+            # and restore the page's previous shape.
+            meta.compressed = not was_uncompressed
+            meta.line_bins = old_bins
+            meta.inflated_lines = old_inflated
+            state.layout = old_layout
+            return False
         if was_uncompressed and self.metadata_cache.contains(page):
             self.metadata_cache.reshape(page, half=False)
         traffic = old_blocks + new_blocks
@@ -992,6 +1144,227 @@ class CompressedMemoryController:
         if self._pending:
             result.accesses.extend(self._pending)
             self._pending = []
-        if self.sanitizer is not None:
-            self.sanitizer.after_op(self, self._active_page)
+        self._maybe_exit_degraded()
+        self._sanitize_op(self._active_page)
         return result
+
+    # ------------------------------------------------------------------
+    # fault detection and recovery (docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+
+    def _sanitize_op(self, page: Optional[int]) -> None:
+        """Post-op sanitizer hook; repairs new violations in recover mode."""
+        if self.sanitizer is None or self._recovering:
+            return
+        self.sanitizer.after_op(self, page)
+        if self.recover_mode:
+            self._handle_new_violations()
+
+    def _sanitize_all(self) -> None:
+        """Full-sweep sanitizer hook (flush paths); repairs in recover mode."""
+        if self.sanitizer is None or self._recovering:
+            return
+        self.sanitizer.check_all(self)
+        if self.recover_mode:
+            self._handle_new_violations()
+
+    def scrub(self, page: Optional[int] = None) -> int:
+        """On-demand sanitizer sweep, modelling a background scrubber.
+
+        Checks one page (plus the allocator) or, with ``page=None``,
+        everything; in ``sanitize="recover"`` mode detected corruption
+        is repaired.  Returns the number of new violations observed
+        (0 when no sanitizer is attached).
+        """
+        if self.sanitizer is None:
+            return 0
+        before = len(self.sanitizer.violations)
+        if page is None:
+            self._sanitize_all()
+        else:
+            self._sanitize_op(page)
+        return len(self.sanitizer.violations) - before
+
+    def _handle_new_violations(self) -> None:
+        """Dispatch recovery for violations recorded since the last op.
+
+        Each afflicted structure gets one recovery attempt per batch:
+        corrupted pages fall back to decompress-and-mark-uncompressed,
+        corrupt metadata-cache entries are invalidated, allocator book
+        corruption is repaired, orphaned storage is reclaimed.  A
+        re-check afterwards reports anything that persisted.
+        """
+        sanitizer = self.sanitizer
+        if len(sanitizer.violations) <= self._violation_cursor:
+            return
+        new = sanitizer.violations[self._violation_cursor:]
+        self._violation_cursor = len(sanitizer.violations)
+        self._recovering = True
+        try:
+            pages: List[int] = []
+            mdcache_pages: List[int] = []
+            books = leak = False
+            for violation in new:
+                if violation.invariant == "mdcache-desync":
+                    if violation.page not in mdcache_pages:
+                        mdcache_pages.append(violation.page)
+                elif violation.invariant == "alloc-books":
+                    books = True
+                elif violation.page is None:
+                    leak = True     # alloc-leak is the page-less invariant
+                elif violation.page not in pages:
+                    pages.append(violation.page)
+            for page in mdcache_pages:
+                self.stats.faults_detected += 1
+                self.tracer.emit("fault_detected", page=page,
+                                 invariants=["mdcache-desync"])
+                self._recover_mdcache_entry(page)
+            if books:
+                self.stats.faults_detected += 1
+                self.tracer.emit("fault_detected", invariants=["alloc-books"])
+                self._recover_allocator_books()
+            for page in pages:
+                self.stats.faults_detected += 1
+                self.tracer.emit(
+                    "fault_detected", page=page,
+                    invariants=sorted({v.invariant for v in new
+                                       if v.page == page}))
+                self._recover_page(page)
+            if leak:
+                self.stats.faults_detected += 1
+                self.tracer.emit("fault_detected", invariants=["alloc-leak"])
+                self._recover_leaked_storage()
+            self._verify_recovery(pages)
+        finally:
+            self._recovering = False
+            self._violation_cursor = len(self.sanitizer.violations)
+
+    def _verify_recovery(self, pages: List[int]) -> None:
+        """Re-check recovered pages and the allocator books once.
+
+        Recovery gets one attempt per violation batch — a residual
+        violation is reported (``recovery_failed``), not retried, so a
+        fault the fallback cannot absorb can never loop the controller.
+        """
+        sanitizer = self.sanitizer
+        before = len(sanitizer.violations)
+        for page in pages:
+            state = self.pages.get(page)
+            if state is not None:
+                sanitizer.check_page(self, page, state)
+        sanitizer.check_allocator(self)
+        residual = sanitizer.violations[before:]
+        if residual:
+            self.stats.recovery_failures += len(residual)
+            self.tracer.emit(
+                "recovery_failed",
+                invariants=sorted({v.invariant for v in residual}))
+
+    def _recover_page(self, page: int) -> None:
+        """Detected page corruption: rebuild the page uncompressed.
+
+        The decompress-and-mark-uncompressed fallback: defensively
+        release whatever storage the corrupt metadata provably owns,
+        recompute line sizes from the shadow payload, and re-store the
+        page as a plain raw allocation.  If even that allocation is
+        denied, the page parks unbacked via the degraded-mode path.
+        """
+        state = self.pages.get(page)
+        if state is None:
+            return
+        self._defensive_release(page, state)
+        meta = state.meta
+        sizes = [0 if data is None else self._sizes.size_bytes(data)
+                 for data in state.data]
+        state.ideal_sizes = sizes
+        if all(size == 0 for size in sizes):
+            # Only zero lines survived: the page reverts to a zero page.
+            meta.valid = False
+            meta.zero = True
+            meta.compressed = True
+            meta.line_bins = [0] * self.config.lines_per_page
+            meta.inflated_lines = []
+        else:
+            meta.valid = True
+            meta.zero = False
+            meta.compressed = False
+            raw_bin = len(self.config.line_bins) - 1
+            meta.line_bins = [raw_bin] * self.config.lines_per_page
+            meta.inflated_lines = []
+            try:
+                self._allocate(state, self.config.max_chunks_per_page)
+            except OutOfMemoryError:
+                self._deny_allocation(page, state)
+                return
+        self.metadata_cache.invalidate(page)
+        self.predictor.drop_page(page)
+        self.stats.recoveries += 1
+        self.tracer.emit("recovery_uncompressed", page=page)
+
+    def _defensive_release(self, page: int, state: PageState) -> None:
+        """Free only the storage this page's metadata *provably* owns.
+
+        Corrupt MPFNs or region pointers cannot be trusted: freeing a
+        chunk another page owns would spread the corruption.  A chunk
+        is released only if the allocator has it allocated and no other
+        page references it; anything left over is the leak-reclaim
+        sweep's job.
+        """
+        allocator = self.memory.allocator
+        if self.config.allocation == "chunks":
+            others: set = set()
+            for other, other_state in self.pages.items():
+                if other != page:
+                    others.update(other_state.meta.mpfns)
+            owned = allocator.owned_chunks()
+            to_free = [c for c in dict.fromkeys(state.meta.mpfns)
+                       if c in owned and c not in others]
+            if to_free:
+                allocator.free(to_free)
+        else:
+            base = state.region_base
+            if base is not None and base in allocator.owned_regions():
+                shared = any(
+                    other_state.region_base == base
+                    for other, other_state in self.pages.items()
+                    if other != page
+                )
+                if not shared:
+                    allocator.free_region(base)
+        state.meta.mpfns = []
+        state.meta.size_chunks = 0
+        state.region_base = None
+        state.layout = None
+
+    def _recover_mdcache_entry(self, page: int) -> None:
+        """Corrupt metadata-cache entry: invalidate for a clean refetch."""
+        self.metadata_cache.invalidate(page)
+        self.stats.recoveries += 1
+        self.tracer.emit("recovery_mdcache", page=page)
+
+    def _recover_allocator_books(self) -> None:
+        """Free-list corruption: drop entries the allocated books refute."""
+        repaired = self.memory.allocator.repair_books()
+        self.stats.recoveries += 1
+        self.tracer.emit("recovery_alloc_books", entries=repaired)
+
+    def _recover_leaked_storage(self) -> None:
+        """Reclaim storage the allocator holds but no page references."""
+        allocator = self.memory.allocator
+        if self.config.allocation == "chunks":
+            referenced: set = set()
+            for state in self.pages.values():
+                referenced.update(state.meta.mpfns)
+            leaked = [c for c in allocator.owned_chunks()
+                      if c not in referenced]
+            if leaked:
+                allocator.free(leaked)
+        else:
+            bases = {state.region_base for state in self.pages.values()
+                     if state.region_base is not None}
+            leaked = [b for b in allocator.owned_regions()
+                      if b not in bases]
+            for base in leaked:
+                allocator.free_region(base)
+        self.stats.recoveries += 1
+        self.tracer.emit("recovery_leak_reclaim", regions=len(leaked))

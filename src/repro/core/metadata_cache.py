@@ -156,6 +156,16 @@ class MetadataCache:
     def resident_pages(self) -> List[int]:
         return [page for entries in self._sets for page in entries]
 
+    def entry_items(self):
+        """(index page, entry) pairs for every resident entry.
+
+        Exposed for the memory-model sanitizer (entry/page coherence
+        checks) and the fault injector (docs/ROBUSTNESS.md); the entry
+        objects are the live ones, not copies.
+        """
+        return [(page, entry) for entries in self._sets
+                for page, entry in entries.items()]
+
     def occupancy(self) -> float:
         """Fraction of the cache's 32-byte sub-slots currently filled."""
         capacity = self.n_sets * self.slots_per_set

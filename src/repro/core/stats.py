@@ -71,6 +71,16 @@ class ControllerStats:
     balloon_inflations: int = 0
     balloon_pages_reclaimed: int = 0
 
+    # Fault detection and recovery (docs/ROBUSTNESS.md).
+    faults_detected: int = 0           # sanitizer violations acted upon
+    recoveries: int = 0                # pages/structures repaired
+    recovery_failures: int = 0         # violations that persisted after repair
+    # Degraded mode: graceful handling of allocator exhaustion.
+    alloc_exhaustions: int = 0         # pool dry even after pressure relief
+    alloc_denials: int = 0             # allocations denied (page parked)
+    emergency_repacks: int = 0         # repack sweeps under pressure
+    degraded_exits: int = 0            # headroom restored after frees
+
     # -- derived aggregates ----------------------------------------------
 
     @property

@@ -1,0 +1,28 @@
+"""Fault injection and recovery campaigns (docs/ROBUSTNESS.md).
+
+Deterministic, seedable corruption of the compressed-memory model's
+internal structures, plus the campaign driver that reconciles injected
+faults against the detection (``fault_*``) and recovery
+(``recovery_*``) trace events.
+"""
+
+from .campaign import CellOutcome, FaultCampaign, campaign_cell, reconcile
+from .faults import (
+    SITES,
+    FaultInjector,
+    FaultRecord,
+    FaultSpec,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "SITES",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSpec",
+    "parse_fault_spec",
+    "CellOutcome",
+    "FaultCampaign",
+    "campaign_cell",
+    "reconcile",
+]

@@ -74,6 +74,19 @@ EVENT_SOURCES: Dict[str, Optional[str]] = {
     "mdcache_half_fill": None,
     # memory-model sanitizer (repro.check.sanitizer, docs/LINTING.md)
     "sanitizer_violation": None,
+    # fault injection + recovery (repro.inject, docs/ROBUSTNESS.md)
+    "fault_injected": None,            # injector committed a fault
+    "fault_detected": None,            # sanitizer flagged it in recover mode
+    "recovery_uncompressed": None,     # page rebuilt as uncompressed
+    "recovery_mdcache": None,          # corrupt cache entry invalidated
+    "recovery_alloc_books": None,      # allocator free/allocated books repaired
+    "recovery_leak_reclaim": None,     # orphaned storage reclaimed
+    "recovery_failed": None,           # violations persisted after recovery
+    # degraded mode / graceful allocation denial (docs/ROBUSTNESS.md)
+    "alloc_denied": None,              # page parked unbacked instead of raising
+    "degraded_enter": None,            # pool exhausted: deny-new-compression
+    "degraded_exit": None,             # headroom restored after frees
+    "emergency_repack": None,          # repack sweep under allocation pressure
 }
 
 

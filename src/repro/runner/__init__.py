@@ -19,10 +19,17 @@ and the journal event schema.
 """
 
 from .cache import ResultCache
-from .executor import Runner, UnitRecord, timing_table
+from .executor import (
+    Runner,
+    UnitFailure,
+    UnitFailureError,
+    UnitRecord,
+    timing_table,
+)
 from .journal import (
     EVENT_SCHEMA,
     RunJournal,
+    find_interrupted,
     read_journal,
     validate_event,
 )
@@ -33,10 +40,13 @@ __all__ = [
     "ResultCache",
     "RunJournal",
     "Runner",
+    "UnitFailure",
+    "UnitFailureError",
     "UnitRecord",
     "WorkUnit",
     "canonical",
     "code_version",
+    "find_interrupted",
     "read_journal",
     "timing_table",
     "unit_key",

@@ -3,7 +3,12 @@
 Every runner invocation gets a ``run_id``; every work unit produces a
 ``unit_start`` / ``unit_end`` event pair.  Events are one JSON object
 per line, append-only, so successive runs accumulate into a durable
-history that tooling can tail or aggregate.
+history that tooling can tail or aggregate.  Each append is flushed
+and fsynced before :meth:`RunJournal.event` returns, so a crash —
+even of the whole machine — loses at most the event being written;
+:func:`find_interrupted` then reads the surviving prefix (tolerating
+one torn trailing line) and reports which units a crashed run left
+unfinished (docs/ROBUSTNESS.md).
 
 Event schema (see also docs/RUNNER.md):
 
@@ -13,6 +18,8 @@ event           required fields (beyond ``event``, ``run_id``, ``ts``)
 ``run_start``   ``jobs`` (int), ``cache_enabled`` (bool)
 ``unit_start``  ``unit`` (str), ``experiment`` (str), ``key`` (str or
                 null), ``cached`` (bool)
+``unit_retry``  ``unit``, ``experiment``, ``key``, ``attempt`` (int),
+                ``reason`` (str), ``delay_s`` (float)
 ``unit_end``    ``unit``, ``experiment``, ``key``, ``cached``,
                 ``wall_s`` (float), ``ok`` (bool)
 ``run_end``     ``wall_s`` (float), ``units`` (int), ``cache_hits``
@@ -33,6 +40,7 @@ with the invariant ``violations`` count — see docs/LINTING.md), and
 from __future__ import annotations
 
 import json
+import os
 import time
 import uuid
 from pathlib import Path
@@ -45,6 +53,9 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
     "run_start": {"jobs": (int,), "cache_enabled": (bool,)},
     "unit_start": {"unit": (str,), "experiment": (str,),
                    "key": (str, type(None)), "cached": (bool,)},
+    "unit_retry": {"unit": (str,), "experiment": (str,),
+                   "key": (str, type(None)), "attempt": (int,),
+                   "reason": (str,), "delay_s": (int, float)},
     "unit_end": {"unit": (str,), "experiment": (str,),
                  "key": (str, type(None)), "cached": (bool,),
                  "wall_s": (int, float), "ok": (bool,)},
@@ -64,12 +75,20 @@ class RunJournal:
         self.run_id = run_id or uuid.uuid4().hex[:12]
 
     def event(self, event: str, **fields: Any) -> Dict[str, Any]:
-        """Append one event; returns the record written."""
+        """Append one event; returns the record written.
+
+        The line is flushed and fsynced before returning, so every
+        event that this method returned from survives a crash of the
+        process or the machine (crash-safe journal,
+        docs/ROBUSTNESS.md).
+        """
         record = {"event": event, "run_id": self.run_id,
                   "ts": time.time(), **fields}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         return record
 
 
@@ -97,11 +116,55 @@ def validate_event(record: Any) -> List[str]:
     return problems
 
 
-def read_journal(path: str | Path) -> List[Dict[str, Any]]:
-    """Parse every event in a ``runs.jsonl`` file (skipping blank lines)."""
+def read_journal(path: str | Path,
+                 skip_invalid: bool = False) -> List[Dict[str, Any]]:
+    """Parse every event in a ``runs.jsonl`` file (skipping blank lines).
+
+    With ``skip_invalid`` unparsable lines are dropped instead of
+    raising — a journal surviving a crash may end in one torn line.
+    """
     records: List[Dict[str, Any]] = []
     text = Path(path).read_text()
     for line in text.splitlines():
-        if line.strip():
+        if not line.strip():
+            continue
+        try:
             records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if not skip_invalid:
+                raise
     return records
+
+
+def find_interrupted(path: str | Path) -> Dict[str, List[Any]]:
+    """Reconstruct what a crashed run left unfinished.
+
+    Returns ``{"runs": [run_ids...], "units": [unit_start records...]}``
+    where the runs have a ``run_start`` but no ``run_end`` and the
+    units have a ``unit_start`` (in such a run or any other) with no
+    matching ``unit_end``.  Because the runner journals ``unit_end``
+    for every settled unit — success, cache hit or permanent failure —
+    an open ``unit_start`` means the process died (or was killed)
+    while that unit was in flight; rerunning the sweep with the cache
+    enabled recomputes exactly those cells (docs/ROBUSTNESS.md).
+    """
+    open_units: Dict[tuple, Dict[str, Any]] = {}
+    seen_runs: List[str] = []
+    ended_runs: set = set()
+    for record in read_journal(path, skip_invalid=True):
+        run_id = record.get("run_id")
+        event = record.get("event")
+        if event == "run_start" and run_id not in seen_runs:
+            seen_runs.append(run_id)
+        elif event == "run_end":
+            ended_runs.add(run_id)
+        elif event == "unit_start":
+            marker = (run_id, record.get("unit"), record.get("key"))
+            open_units[marker] = record
+        elif event == "unit_end":
+            open_units.pop(
+                (run_id, record.get("unit"), record.get("key")), None)
+    return {
+        "runs": [run for run in seen_runs if run not in ended_runs],
+        "units": list(open_units.values()),
+    }

@@ -56,7 +56,15 @@ class SimulationConfig:
     #: Attach the memory-model sanitizer (repro.check.sanitizer): the
     #: controller re-verifies its layout and allocator invariants after
     #: every operation, and the result reports the violation count.
-    sanitize: bool = False
+    #: Beyond True/False this accepts ``"strict"`` (raise on the first
+    #: violation) and ``"recover"`` (repair detected corruption via the
+    #: decompress-and-mark-uncompressed fallback, docs/ROBUSTNESS.md).
+    sanitize: object = False
+    #: Fault-injection spec (``repro.inject`` grammar, e.g.
+    #: ``"line:0.01,meta:0.005"``); ``None`` disables injection.  The
+    #: injector is seeded from ``seed`` and steps once per trace event.
+    #: Pair with ``sanitize="recover"`` for detect-and-recover runs.
+    faults: Optional[str] = None
 
 
 @dataclass
@@ -82,6 +90,9 @@ class SimulationResult:
     #: Invariant violations the memory-model sanitizer detected;
     #: ``None`` when the run was not sanitized (``sanitize=False``).
     sanitizer_violations: Optional[int] = None
+    #: Faults the injector committed; ``None`` when the run had no
+    #: injector (``faults=None``).
+    faults_injected: Optional[int] = None
 
     @property
     def ipc(self) -> float:
@@ -211,7 +222,7 @@ class EventEngine:
 def simulate(profile: BenchmarkProfile, system: str,
              sim: SimulationConfig = SimulationConfig(),
              config: Optional[CompressoConfig] = None,
-             tracer=None) -> SimulationResult:
+             tracer=None, injector=None) -> SimulationResult:
     """Run one benchmark on one system configuration.
 
     ``system`` is a named configuration (§VI-F); pass ``config`` to run
@@ -219,12 +230,23 @@ def simulate(profile: BenchmarkProfile, system: str,
     Fig. 4/6 ladders and ablations do this), with ``system`` then used
     only as the result label.  Pass a :class:`repro.obs.Tracer` to
     record controller events and wall-clock phase timings; the result
-    then carries a windowed timeline digest.
+    then carries a windowed timeline digest.  A ``repro.inject``
+    :class:`~repro.inject.FaultInjector` (given explicitly or built
+    from ``sim.faults``) is stepped once per trace event against the
+    compressed controller.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     workload = Workload(profile, scale=sim.scale, seed=sim.seed)
     controller = _build_controller(system, workload.pages, sim, config,
                                    tracer=tracer)
+    if injector is None and sim.faults:
+        from ..inject import FaultInjector
+        injector = FaultInjector(sim.faults, seed=sim.seed)
+    if injector is not None:
+        if isinstance(controller, UncompressedController):
+            injector = None     # nothing to corrupt in the baseline
+        else:
+            injector.bind(controller, tracer)
     with tracer.phase("install"):
         if sim.warm_install:
             for page in range(workload.pages):
@@ -241,6 +263,8 @@ def simulate(profile: BenchmarkProfile, system: str,
     with tracer.phase("simulate"):
         for index, event in enumerate(trace.events(sim.n_events)):
             engine.step(event, progress=index / sim.n_events)
+            if injector is not None:
+                injector.step()
             if index % sample_every == 0:
                 ratio_timeline.append(max(1.0, controller.compression_ratio()))
 
@@ -267,6 +291,9 @@ def simulate(profile: BenchmarkProfile, system: str,
         ),
         sanitizer_violations=(
             sanitizer.violation_count if sanitizer is not None else None
+        ),
+        faults_injected=(
+            len(injector.records) if injector is not None else None
         ),
     )
 

@@ -262,6 +262,79 @@ def test_stats_field_exists_rule(tmp_path):
     assert kept == []
 
 
+def test_bare_except_rule(tmp_path):
+    bad = (
+        '"""doc."""\n'
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except:\n"
+        "        pass\n"
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/mod.py", bad, ["bare-except"])
+    assert [f.rule for f in kept] == ["bare-except"]
+    assert kept[0].line == 5
+
+    swallowed = (
+        '"""doc."""\n'
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/mod.py", swallowed, ["bare-except"])
+    assert [f.rule for f in kept] == ["bare-except"]
+    assert "swallows" in kept[0].message
+
+    # a broad handler that DOES something is allowed (the runner's
+    # worker shim reports BaseException back over the queue)
+    handled = (
+        '"""doc."""\n'
+        "def f(queue):\n"
+        "    try:\n"
+        "        g()\n"
+        "    except BaseException as exc:\n"
+        "        queue.put(repr(exc))\n"
+        "    try:\n"
+        "        h()\n"
+        "    except OSError:\n"
+        "        pass\n"   # narrow swallow is a judgement call, not flagged
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/mod.py", handled, ["bare-except"])
+    assert kept == []
+
+
+def test_recovery_traced_rule(tmp_path):
+    bad = (
+        '"""doc."""\n'
+        "def _recover_page(self, page):\n"
+        "    self.stats.recoveries += 1\n"
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/core/mod.py", bad, ["recovery-traced"])
+    assert [f.rule for f in kept] == ["recovery-traced"]
+    assert kept[0].line == 2
+
+    good = (
+        '"""doc."""\n'
+        "def _recover_page(self, page):\n"
+        "    self.stats.recoveries += 1\n"
+        '    self.tracer.emit("recovery_uncompressed", page=page)\n'
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/core/mod.py", good, ["recovery-traced"])
+    assert kept == []
+
+    # scoped to core/: the injector itself is not a recovery path
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/inject/mod.py", bad, ["recovery-traced"])
+    assert kept == []
+
+
 # ---------------------------------------------------------------------------
 # project rules
 # ---------------------------------------------------------------------------

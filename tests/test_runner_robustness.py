@@ -1,0 +1,243 @@
+"""Tests for runner crash tolerance, cache quarantine and journal
+crash-safety (docs/ROBUSTNESS.md).
+
+Worker-process faults are real: units below crash with ``os._exit``,
+hang with ``sleep``, or raise, and the scheduler must kill, retry and
+account for them without losing the rest of the sweep.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runner import (
+    ResultCache,
+    RunJournal,
+    Runner,
+    UnitFailureError,
+    WorkUnit,
+    find_interrupted,
+    read_journal,
+)
+from repro.runner.cache import QUARANTINE_DIR, payload_checksum
+
+
+# -- module-level unit functions (picklable across the fork) -------------
+
+def _ok_unit(value):
+    return {"value": value}
+
+
+def _crash_unit():
+    os._exit(7)
+
+
+def _raise_unit():
+    raise RuntimeError("boom")
+
+
+def _hang_unit():
+    time.sleep(60)
+
+
+def _crash_once_unit(sentinel, value):
+    """Crash on the first attempt, succeed on the retry."""
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(3)
+    return {"value": value}
+
+
+def _hang_once_unit(sentinel, value):
+    """Hang on the first attempt, succeed on the retry."""
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        time.sleep(60)
+    return {"value": value}
+
+
+def _unit(fn, label="u", **params):
+    return WorkUnit(experiment="robust", label=label, fn=fn, params=params)
+
+
+class TestCrashTolerantScheduler:
+    def test_crash_retried_to_success(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        runner = Runner(jobs=2, retries=2, backoff=0.01, journal=journal)
+        results = runner.map([
+            _unit(_ok_unit, "ok", value=1),
+            _unit(_crash_once_unit, "crashy", sentinel=sentinel, value=2),
+        ])
+        assert results == [{"value": 1}, {"value": 2}]
+        assert runner.failures == []
+        retries = [r for r in read_journal(journal.path)
+                   if r["event"] == "unit_retry"]
+        assert len(retries) == 1
+        assert "worker died" in retries[0]["reason"]
+
+    def test_crash_and_hang_sweep_completes(self, tmp_path):
+        """The acceptance sweep: one crasher, one hanger, both recover."""
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        runner = Runner(jobs=2, timeout=1.0, retries=2, backoff=0.01,
+                        journal=journal)
+        results = runner.map([
+            _unit(_ok_unit, "ok", value=1),
+            _unit(_crash_once_unit, "crashy",
+                  sentinel=str(tmp_path / "c"), value=2),
+            _unit(_hang_once_unit, "hangy",
+                  sentinel=str(tmp_path / "h"), value=3),
+        ])
+        assert results == [{"value": 1}, {"value": 2}, {"value": 3}]
+        events = read_journal(journal.path)
+        reasons = [r["reason"] for r in events
+                   if r["event"] == "unit_retry"]
+        assert any("worker died" in reason for reason in reasons)
+        assert any("timeout" in reason for reason in reasons)
+        ends = [r for r in events if r["event"] == "unit_end"]
+        assert len(ends) == 3 and all(r["ok"] for r in ends)
+
+    def test_hang_without_retries_fails_permanently(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        runner = Runner(jobs=1, timeout=0.5, retries=0, strict=False,
+                        journal=journal)
+        results = runner.map([_unit(_hang_unit, "hangy"),
+                              _unit(_ok_unit, "ok", value=9)])
+        assert results == [None, {"value": 9}]
+        assert len(runner.failures) == 1
+        assert "timeout" in runner.failures[0].reason
+        ends = {r["unit"]: r["ok"] for r in read_journal(journal.path)
+                if r["event"] == "unit_end"}
+        assert ends == {"hangy": False, "ok": True}
+
+    def test_strict_mode_raises_on_permanent_failure(self):
+        runner = Runner(jobs=1, retries=0, timeout=0.5)
+        with pytest.raises(UnitFailureError, match="crashy"):
+            runner.map([_unit(_crash_unit, "crashy")])
+
+    def test_raising_unit_reports_the_exception(self):
+        runner = Runner(jobs=1, retries=1, backoff=0.01, strict=False)
+        results = runner.map([_unit(_raise_unit, "raisy")])
+        assert results == [None]
+        assert runner.failures[0].attempts == 2
+        assert "RuntimeError: boom" in runner.failures[0].reason
+
+    def test_timeout_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Runner(timeout=0)
+        with pytest.raises(ValueError):
+            Runner(retries=-1)
+
+    def test_isolated_path_stores_to_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = Runner(jobs=1, retries=1, backoff=0.01, cache=cache)
+        unit = _unit(_ok_unit, "ok", value=5)
+        assert runner.map([unit]) == [{"value": 5}]
+        assert cache.get(unit.key()) == {"value": 5}
+
+
+class TestCacheQuarantine:
+    def _cached_unit(self, cache):
+        unit = _unit(_ok_unit, "ok", value=1)
+        cache.put(unit.key(), unit, {"value": 1})
+        return unit
+
+    def test_roundtrip_carries_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        unit = self._cached_unit(cache)
+        payload = json.loads((cache.root / f"{unit.key()}.json").read_text())
+        assert payload["checksum"] == payload_checksum(payload)
+        assert cache.get(unit.key()) == {"value": 1}
+
+    def test_unparsable_cell_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        unit = self._cached_unit(cache)
+        path = cache.root / f"{unit.key()}.json"
+        path.write_text("{not json")
+        assert cache.get(unit.key()) is None
+        assert not path.exists()
+        assert (cache.root / QUARANTINE_DIR / path.name).exists()
+        assert cache.quarantined == 1
+
+    def test_bitflipped_cell_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        unit = self._cached_unit(cache)
+        path = cache.root / f"{unit.key()}.json"
+        # Valid JSON, wrong content: the checksum must catch it.
+        payload = json.loads(path.read_text())
+        payload["result"] = {"value": 999}
+        path.write_text(json.dumps(payload, sort_keys=True))
+        assert cache.get(unit.key()) is None
+        assert (cache.root / QUARANTINE_DIR / path.name).exists()
+
+    def test_missing_checksum_is_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        unit = self._cached_unit(cache)
+        path = cache.root / f"{unit.key()}.json"
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload, sort_keys=True))
+        assert cache.get(unit.key()) is None
+
+    def test_plain_miss_is_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("0" * 64) is None
+        assert cache.quarantined == 0
+
+
+class TestCrashSafeJournal:
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        journal.event("run_start", jobs=1, cache_enabled=False)
+        with journal.path.open("a") as handle:
+            handle.write('{"event": "unit_sta')     # torn mid-crash
+        with pytest.raises(json.JSONDecodeError):
+            read_journal(journal.path)
+        records = read_journal(journal.path, skip_invalid=True)
+        assert [r["event"] for r in records] == ["run_start"]
+
+    def test_find_interrupted_reports_open_units(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        journal.event("run_start", jobs=1, cache_enabled=True)
+        journal.event("unit_start", unit="a", experiment="e",
+                      key="k1", cached=False)
+        journal.event("unit_end", unit="a", experiment="e", key="k1",
+                      cached=False, wall_s=0.1, ok=True)
+        journal.event("unit_start", unit="b", experiment="e",
+                      key="k2", cached=False)
+        # No unit_end for b, no run_end: the process died here.
+        interrupted = find_interrupted(journal.path)
+        assert interrupted["runs"] == [journal.run_id]
+        assert [u["unit"] for u in interrupted["units"]] == ["b"]
+
+    def test_completed_run_reports_nothing(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        journal.event("run_start", jobs=1, cache_enabled=True)
+        journal.event("unit_start", unit="a", experiment="e",
+                      key="k1", cached=False)
+        journal.event("unit_end", unit="a", experiment="e", key="k1",
+                      cached=False, wall_s=0.1, ok=True)
+        journal.event("run_end", wall_s=0.2, units=1, cache_hits=0)
+        interrupted = find_interrupted(journal.path)
+        assert interrupted == {"runs": [], "units": []}
+
+    def test_interrupted_sweep_resumes_from_cache(self, tmp_path):
+        """Rerunning after a crash recomputes only the open units."""
+        cache = ResultCache(tmp_path / "cache")
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        units = [_unit(_ok_unit, "a", value=1), _unit(_ok_unit, "b", value=2)]
+        journal.event("run_start", jobs=1, cache_enabled=True)
+        runner = Runner(jobs=1, cache=cache, journal=journal)
+        runner.map([units[0]])
+        journal.event("unit_start", unit="b", experiment="robust",
+                      key=units[1].key(), cached=False)
+        # Crash here (no unit_end for b, no run_end).  Resume:
+        open_units = {u["unit"] for u in
+                      find_interrupted(journal.path)["units"]}
+        assert open_units == {"b"}
+        resumed = Runner(jobs=1, cache=cache,
+                         journal=RunJournal(journal.path))
+        assert resumed.map(units) == [{"value": 1}, {"value": 2}]
+        assert resumed.cache_hits == 1      # unit a came from the cache
