@@ -1,0 +1,58 @@
+"""Kernel micro-benchmarks — scalar compressors vs. numpy batch kernels.
+
+Times ``repro.compression.vector`` against the scalar reference on the
+mixed-class corpus from ``repro.analysis.bench`` and prints the same
+report table the ``python -m repro.analysis bench`` CLI emits
+(docs/KERNELS.md).  Unlike the figure benchmarks these are seconds-long
+micro runs, so pytest-benchmark's statistical rounds are left on.
+"""
+
+import pytest
+
+from repro.analysis.bench import (
+    bench_algorithm,
+    make_corpus,
+    render_table,
+    run_bench,
+)
+from repro.compression.vector import vectorized_algorithms
+from repro.compression.vector.batch import BatchCompressor
+
+_CORPUS = make_corpus(1000, seed=0)
+
+
+@pytest.mark.parametrize("algorithm", vectorized_algorithms())
+def test_kernel_vector_compress(benchmark, algorithm):
+    batch = BatchCompressor(algorithm)
+    out = benchmark(batch.batch_compress, _CORPUS)
+    assert len(out) == len(_CORPUS)
+
+
+@pytest.mark.parametrize("algorithm", vectorized_algorithms())
+def test_kernel_scalar_compress(benchmark, algorithm):
+    batch = BatchCompressor(algorithm)
+    scalar = batch._scalar
+    out = benchmark(lambda: [scalar.compress(line) for line in _CORPUS])
+    assert len(out) == len(_CORPUS)
+
+
+@pytest.mark.parametrize("algorithm", vectorized_algorithms())
+def test_kernel_sizes_only(benchmark, algorithm):
+    batch = BatchCompressor(algorithm)
+    sizes = benchmark(batch.batch_size_bits, _CORPUS)
+    assert len(sizes) == len(_CORPUS)
+
+
+def test_kernel_report(show):
+    """One consolidated speedup table (also checks byte equality)."""
+    doc = run_bench(n_lines=1000, repeat=1)
+    print()
+    print(render_table(doc))
+    assert all(entry["match"] for entry in doc["algorithms"].values())
+
+
+def test_kernel_equivalence_on_corpus():
+    """The bench corpus itself round-trips byte-identically."""
+    for algorithm in vectorized_algorithms():
+        entry = bench_algorithm(algorithm, _CORPUS[:200], repeat=1)
+        assert entry["match"], algorithm

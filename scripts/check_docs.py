@@ -7,12 +7,17 @@ AST-based rules in ``repro.check`` (docs/LINTING.md):
 * ``module-docstring`` — every module under ``src/repro/`` has a
   module docstring;
 * ``doc-links`` — every relative link in the tracked markdown docs
-  resolves to an existing file.
+  resolves to an existing file;
+* ``package-doc-link`` — every ``src/repro`` package ``__init__``
+  docstring names an existing documentation page, so a stale or
+  missing doc reference fails tier-1 (docs/KERNELS.md grew out of
+  this workflow).
 
 This entry point remains for muscle memory and CI wiring
 (``tests/test_docs.py``); it is equivalent to::
 
-    python -m repro.analysis lint --rules module-docstring,doc-links
+    python -m repro.analysis lint \
+        --rules module-docstring,doc-links,package-doc-link
 
 Exits non-zero listing each problem on stderr.
 """
@@ -29,7 +34,7 @@ from repro.check import run_lint  # noqa: E402
 from repro.check.builtin_rules import DOCS  # noqa: E402
 from repro.check.findings import format_finding  # noqa: E402
 
-RULES = ("module-docstring", "doc-links")
+RULES = ("module-docstring", "doc-links", "package-doc-link")
 
 
 def main() -> int:

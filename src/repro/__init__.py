@@ -7,4 +7,7 @@ Subpackages: :mod:`repro.compression` (BPC/BDI/FPC/C-Pack/LZ),
 :mod:`repro.workloads`, :mod:`repro.simulation`, :mod:`repro.energy`,
 :mod:`repro.analysis` (paper-figure runners) and :mod:`repro.runner`
 (the parallel experiment executor, result cache and run journal).
+
+README.md is the front door; DESIGN.md maps each subsystem to the
+paper's sections.
 """

@@ -1,4 +1,9 @@
-"""Experiment harness: one runner per paper table/figure + rendering."""
+"""Experiment harness: one runner per paper table/figure + rendering.
+
+The CLI surface (``run``/``trace``/``lint``/``bench`` subcommands) is
+documented in docs/RUNNER.md; the shipped numbers live in
+EXPERIMENTS.md.
+"""
 
 from .experiments import (
     COMPRESSED_SYSTEMS,

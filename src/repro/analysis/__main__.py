@@ -35,6 +35,14 @@ checks over the tree and exits nonzero on any error finding::
     python -m repro.analysis lint --jobs 4
     python -m repro.analysis lint --rules stats-emit,emit-registered
 
+The ``bench`` subcommand (docs/KERNELS.md) micro-benchmarks the numpy
+batch kernels against the scalar compressors, verifies byte equality,
+and records the throughput trajectory in ``BENCH_kernels.json``::
+
+    python -m repro.analysis bench
+    python -m repro.analysis bench --quick --no-journal
+    python -m repro.analysis bench --algorithms bdi,bpc --force
+
 The legacy positional form still works and behaves exactly as before
 (serial, no cache, no journal)::
 
@@ -371,6 +379,9 @@ def main(argv=None) -> int:
         return _trace_command(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_command(argv[1:])
+    if argv and argv[0] == "bench":
+        from .bench import main as bench_main
+        return bench_main(argv[1:])
     return _legacy_command(argv)
 
 

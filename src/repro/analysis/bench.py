@@ -1,0 +1,319 @@
+"""Kernel micro-benchmarks: the perf trajectory behind docs/KERNELS.md.
+
+``python -m repro.analysis bench`` times every scalar compressor
+against its numpy batch kernel (:mod:`repro.compression.vector`) on a
+deterministic mixed-class corpus (:mod:`repro.workloads.datagen`),
+verifies the two paths produce byte-identical streams, and writes the
+measurements to a schema'd JSON file (``BENCH_kernels.json`` by
+default) so successive PRs accumulate a comparable throughput history.
+
+The emitted document follows the ``repro-bench-kernels/1`` schema
+(docs/KERNELS.md).  To keep the trajectory honest, an existing output
+file acts as the baseline: the CLI refuses to overwrite it when any
+algorithm's vector throughput regressed by more than
+:data:`REGRESSION_TOLERANCE` unless ``--force`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..compression.vector.batch import (
+    BatchCompressor,
+    vectorized_algorithms,
+)
+from ..workloads.datagen import LINE_SIZE, LineClass, make_line
+
+#: Document schema identifier (docs/KERNELS.md).
+BENCH_SCHEMA = "repro-bench-kernels/1"
+
+#: Fractional vector-throughput drop vs. the existing output file that
+#: makes the CLI refuse to overwrite it (without ``--force``).
+REGRESSION_TOLERANCE = 0.20
+
+DEFAULT_OUT = "BENCH_kernels.json"
+DEFAULT_LINES = 4000
+DEFAULT_REPEAT = 3
+QUICK_LINES = 400
+
+
+def make_corpus(n_lines: int, seed: int = 0) -> List[bytes]:
+    """Deterministic mixed-class corpus cycling through every
+    :class:`~repro.workloads.datagen.LineClass` (so each algorithm sees
+    its best and worst cases in one run)."""
+    rng = np.random.RandomState(seed)
+    classes = list(LineClass)
+    return [make_line(classes[i % len(classes)], rng)
+            for i in range(n_lines)]
+
+
+def _checksum(lines) -> str:
+    """Stable digest of a compressed-line sequence (payloads included)."""
+    digest = hashlib.sha256()
+    for line in lines:
+        digest.update(
+            f"{line.algorithm}|{line.size_bits}|"
+            f"{line.payload.length}|{line.payload.value:x}\n".encode())
+    return digest.hexdigest()
+
+
+def _best_of(repeat: int, fn) -> float:
+    """Minimum wall-clock of ``repeat`` calls (discards scheduler noise)."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_algorithm(algorithm: str, corpus: Sequence[bytes],
+                    repeat: int = DEFAULT_REPEAT) -> Dict[str, object]:
+    """Measure one algorithm; returns its ``algorithms`` entry.
+
+    Times three paths — the scalar reference loop, the vector
+    ``batch_compress`` (full payloads) and the vector
+    ``batch_size_bits`` (sizes only, what the simulator's cache priming
+    uses) — and cross-checks the scalar and vector streams.
+    """
+    batch = BatchCompressor(algorithm, LINE_SIZE)
+    scalar = batch._scalar
+    n = len(corpus)
+
+    scalar_s = _best_of(repeat, lambda: [scalar.compress(line)
+                                         for line in corpus])
+    vector_s = _best_of(repeat, lambda: batch.batch_compress(corpus))
+    sizes_s = _best_of(repeat, lambda: batch.batch_size_bits(corpus))
+
+    scalar_out = [scalar.compress(line) for line in corpus]
+    vector_out = batch.batch_compress(corpus)
+    checksum = _checksum(scalar_out)
+    match = checksum == _checksum(vector_out)
+
+    return {
+        "vectorized": batch.vectorized,
+        "scalar_lines_per_s": n / scalar_s,
+        "vector_lines_per_s": n / vector_s,
+        "sizes_lines_per_s": n / sizes_s,
+        "speedup": scalar_s / vector_s,
+        "sizes_speedup": scalar_s / sizes_s,
+        "checksum": checksum,
+        "match": match,
+    }
+
+
+def run_bench(algorithms: Optional[Sequence[str]] = None,
+              n_lines: int = DEFAULT_LINES, repeat: int = DEFAULT_REPEAT,
+              seed: int = 0) -> Dict[str, object]:
+    """Run the full micro-benchmark; returns the schema'd document."""
+    names = list(algorithms) if algorithms else vectorized_algorithms()
+    corpus = make_corpus(n_lines, seed)
+    results = {name: bench_algorithm(name, corpus, repeat)
+               for name in names}
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "line_size": LINE_SIZE,
+        "lines": n_lines,
+        "repeat": repeat,
+        "seed": seed,
+        "algorithms": results,
+    }
+
+
+def validate_document(doc) -> List[str]:
+    """Schema problems for one bench document (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is not an object: {type(doc).__name__}"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        f"expected {BENCH_SCHEMA!r}")
+    for name, types in (("generated", str), ("python", str), ("numpy", str),
+                        ("line_size", int), ("lines", int), ("repeat", int),
+                        ("seed", int), ("algorithms", dict)):
+        if not isinstance(doc.get(name), types):
+            problems.append(f"field {name!r} missing or mistyped")
+    for alg, entry in (doc.get("algorithms") or {}).items():
+        if not isinstance(entry, dict):
+            problems.append(f"algorithms[{alg!r}] is not an object")
+            continue
+        for name, types in (
+            ("vectorized", bool),
+            ("scalar_lines_per_s", (int, float)),
+            ("vector_lines_per_s", (int, float)),
+            ("sizes_lines_per_s", (int, float)),
+            ("speedup", (int, float)),
+            ("sizes_speedup", (int, float)),
+            ("checksum", str),
+            ("match", bool),
+        ):
+            if not isinstance(entry.get(name), types):
+                problems.append(
+                    f"algorithms[{alg!r}].{name} missing or mistyped")
+    return problems
+
+
+def find_regressions(old: Dict[str, object],
+                     new: Dict[str, object],
+                     tolerance: float = REGRESSION_TOLERANCE
+                     ) -> List[str]:
+    """Per-algorithm throughput drops beyond ``tolerance`` vs. a
+    previous document (human-readable, empty = no regression)."""
+    regressions: List[str] = []
+    old_algorithms = old.get("algorithms") or {}
+    for alg, entry in (new.get("algorithms") or {}).items():
+        previous = old_algorithms.get(alg)
+        if not isinstance(previous, dict):
+            continue
+        before = previous.get("vector_lines_per_s")
+        after = entry.get("vector_lines_per_s")
+        if not before or not after:
+            continue
+        if after < before * (1.0 - tolerance):
+            regressions.append(
+                f"{alg}: vector throughput {after:,.0f} lines/s is "
+                f"{(1 - after / before) * 100:.0f}% below the recorded "
+                f"{before:,.0f} lines/s")
+    return regressions
+
+
+def render_table(doc: Dict[str, object]) -> str:
+    """The human-readable report row per algorithm."""
+    rows = [f"== kernel bench: {doc['lines']} lines x {doc['repeat']} "
+            f"repeats (seed {doc['seed']}) ==",
+            f"{'algorithm':20s} {'scalar l/s':>12s} {'vector l/s':>12s} "
+            f"{'speedup':>8s} {'sizes l/s':>12s} {'sizes x':>8s}  match"]
+    for alg in sorted(doc["algorithms"]):
+        entry = doc["algorithms"][alg]
+        rows.append(
+            f"{alg:20s} {entry['scalar_lines_per_s']:12,.0f} "
+            f"{entry['vector_lines_per_s']:12,.0f} "
+            f"{entry['speedup']:7.1f}x "
+            f"{entry['sizes_lines_per_s']:12,.0f} "
+            f"{entry['sizes_speedup']:7.1f}x  "
+            f"{'yes' if entry['match'] else 'NO'}")
+    return "\n".join(rows)
+
+
+def _load_baseline(path: Path) -> Optional[Dict[str, object]]:
+    """A previous output file, if present and schema-valid."""
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if validate_document(doc):
+        return None
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis bench",
+        description="Micro-benchmark the vector compression kernels "
+                    "against the scalar reference (docs/KERNELS.md).",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH",
+                        help=f"output JSON path (default: {DEFAULT_OUT}); "
+                             "an existing file is the regression baseline")
+    parser.add_argument("--lines", type=int, default=DEFAULT_LINES,
+                        metavar="N",
+                        help=f"corpus size (default: {DEFAULT_LINES})")
+    parser.add_argument("--repeat", type=int, default=DEFAULT_REPEAT,
+                        metavar="R",
+                        help="timing repetitions, minimum kept "
+                             f"(default: {DEFAULT_REPEAT})")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"small corpus ({QUICK_LINES} lines), one "
+                             "repetition — the tier-1 smoke configuration")
+    parser.add_argument("--algorithms", default=None, metavar="A[,A...]",
+                        help="benchmark only these algorithms "
+                             f"(default: {','.join(vectorized_algorithms())})")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="corpus seed (default: 0)")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite --out even when throughput "
+                             "regressed beyond "
+                             f"{REGRESSION_TOLERANCE:.0%}")
+    parser.add_argument("--journal", default="runs.jsonl", metavar="PATH",
+                        help="append a 'bench' event to this run journal "
+                             "(default: runs.jsonl)")
+    parser.add_argument("--no-journal", dest="journal",
+                        action="store_const", const="",
+                        help="disable the run journal")
+    args = parser.parse_args(argv)
+    if args.lines <= 0:
+        parser.error("--lines must be positive")
+
+    algorithms = None
+    if args.algorithms:
+        algorithms = [name.strip() for name in args.algorithms.split(",")
+                      if name.strip()]
+        unknown = sorted(set(algorithms) - set(vectorized_algorithms()))
+        if unknown:
+            parser.error(f"unknown algorithm(s) {unknown}; "
+                         f"known: {vectorized_algorithms()}")
+    n_lines = QUICK_LINES if args.quick else args.lines
+    repeat = 1 if args.quick else args.repeat
+
+    doc = run_bench(algorithms, n_lines=n_lines, repeat=repeat,
+                    seed=args.seed)
+    print(render_table(doc))
+
+    mismatches = sorted(alg for alg, entry in doc["algorithms"].items()
+                        if not entry["match"])
+    if mismatches:
+        print(f"ERROR: vector output diverged from the scalar reference "
+              f"for {mismatches}; not writing {args.out}")
+        return 2
+
+    out = Path(args.out)
+    baseline = _load_baseline(out)
+    if baseline is not None:
+        regressions = find_regressions(baseline, doc)
+        if regressions and not args.force:
+            print(f"REFUSING to overwrite {out} "
+                  f"(recorded {baseline.get('generated')}):")
+            for line in regressions:
+                print(f"  {line}")
+            print("rerun with --force to record the regression anyway")
+            return 3
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"bench results written to {out}")
+
+    if args.journal:
+        from ..runner import RunJournal
+        best = max(entry["speedup"]
+                   for entry in doc["algorithms"].values())
+        RunJournal(args.journal).event(
+            "bench", out=str(out), lines=n_lines,
+            algorithms=sorted(doc["algorithms"]),
+            best_speedup=round(float(best), 2),
+            match=all(entry["match"]
+                      for entry in doc["algorithms"].values()))
+    return 0
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "REGRESSION_TOLERANCE",
+    "bench_algorithm",
+    "find_regressions",
+    "main",
+    "make_corpus",
+    "render_table",
+    "run_bench",
+    "validate_document",
+]

@@ -1,4 +1,4 @@
-"""Cache hierarchy substrate (L1/L2/L3, Tab. III)."""
+"""Cache hierarchy substrate (L1/L2/L3, Tab. III; DESIGN.md)."""
 
 from .cache import Cache, CacheStats
 from .hierarchy import CacheHierarchy, HierarchyConfig, MemoryEvent

@@ -24,7 +24,8 @@ HOT_PATH_DIRS = ("src/repro/core", "src/repro/memory", "src/repro/compression")
 
 #: Markdown files whose relative links must resolve.
 DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
-        "docs/OBSERVABILITY.md", "docs/LINTING.md", "docs/ROBUSTNESS.md")
+        "docs/OBSERVABILITY.md", "docs/LINTING.md", "docs/ROBUSTNESS.md",
+        "docs/KERNELS.md")
 
 #: (module path, class name) pairs whose public fields must be named in
 #: the documentation set scanned by ``config-knob-documented``.
@@ -366,6 +367,47 @@ class DocLinksRule(ProjectRule):
                     if target and not (path.parent / target).exists():
                         yield Finding(doc, number, self.id, self.severity,
                                       f"broken link -> {target}")
+
+
+@register
+class PackageDocLinkRule(ProjectRule):
+    """Every ``src/repro`` package docstring names its docs page.
+
+    Each subsystem has a prose home (DESIGN.md or a ``docs/*.md``
+    page); the package ``__init__`` docstring is where a reader lands
+    first, so it must point at an *existing* markdown page.  This is
+    what keeps the docs from drifting silently when subsystems are
+    added or renamed — a new subpackage fails lint until it says where
+    it is documented.
+    """
+
+    id = "package-doc-link"
+    severity = "error"
+    description = ("src/repro package __init__ docstrings must name an "
+                   "existing documentation page")
+
+    _DOC_REF = re.compile(
+        r"docs/[A-Za-z0-9_.-]+\.md"
+        r"|\b(?:README|DESIGN|EXPERIMENTS|ROADMAP|PAPER)\.md")
+
+    def check_project(self, root: Path) -> Iterable[Finding]:
+        for init in sorted((root / "src" / "repro").rglob("__init__.py")):
+            rel = init.relative_to(root).as_posix()
+            tree = ast.parse(init.read_text(), filename=rel)
+            doc = ast.get_docstring(tree) or ""
+            refs = self._DOC_REF.findall(doc)
+            if not refs:
+                yield Finding(
+                    rel, 1, self.id, self.severity,
+                    "package docstring names no documentation page "
+                    "(mention e.g. DESIGN.md or docs/<PAGE>.md)")
+                continue
+            for ref in sorted(set(refs)):
+                if not (root / ref).exists():
+                    yield Finding(
+                        rel, 1, self.id, self.severity,
+                        f"package docstring names {ref}, which does "
+                        f"not exist")
 
 
 @register

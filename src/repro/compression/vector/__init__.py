@@ -1,0 +1,54 @@
+"""Numpy-vectorized batch compression kernels (docs/KERNELS.md).
+
+The scalar compressors in :mod:`repro.compression` encode one 64-byte
+line at a time in pure Python and dominate the wall clock of every
+figure sweep.  This subpackage re-expresses the data-parallel parts of
+BPC, BDI, FPC and zero detection as whole-array numpy operations over
+``(N, words)`` batches — bit-plane transposes, base+delta probes and
+pattern classification all run once per batch instead of once per
+word — while staying byte-identical to the scalar reference (the
+equivalence property tests in ``tests/test_vector_kernels.py`` pin
+this down).
+
+Entry points:
+
+* :class:`BatchCompressor` / :func:`make_batch_compressor` — the
+  N-lines-per-call API (``batch_compress``, ``batch_size_bits``,
+  ``batch_decompress``);
+* :func:`batch_compressor_for` — batch counterpart of an existing
+  scalar compressor (used by the selector's fast path and the
+  controller's ``prime_size_cache``);
+* the per-algorithm kernels (:class:`BPCKernel`, :class:`BDIKernel`,
+  :class:`FPCKernel`, :class:`ZeroKernel`) for direct array use.
+
+Throughput is tracked per PR in ``BENCH_kernels.json`` via
+``python -m repro.analysis bench`` — see docs/KERNELS.md for the
+schema and the perf trajectory workflow.
+"""
+
+from .batch import (
+    BatchCompressor,
+    batch_compressor_for,
+    make_batch_compressor,
+    vectorized_algorithms,
+)
+from .bdi import BDIKernel
+from .bpc import BPCKernel
+from .fpc import FPCKernel
+from .layout import array_to_lines, lines_to_array, words_view
+from .zero import ZeroKernel, zero_mask
+
+__all__ = [
+    "BDIKernel",
+    "BPCKernel",
+    "BatchCompressor",
+    "FPCKernel",
+    "ZeroKernel",
+    "array_to_lines",
+    "batch_compressor_for",
+    "lines_to_array",
+    "make_batch_compressor",
+    "vectorized_algorithms",
+    "words_view",
+    "zero_mask",
+]

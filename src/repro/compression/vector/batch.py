@@ -1,0 +1,134 @@
+"""The BatchCompressor API over the vector kernels (docs/KERNELS.md).
+
+A :class:`BatchCompressor` presents one algorithm's batch interface —
+``batch_compress`` / ``batch_size_bits`` / ``batch_decompress`` over N
+lines per call — backed by a numpy kernel when one exists (BPC, BDI,
+FPC, zero) and by a scalar loop otherwise (C-Pack's FIFO dictionary
+and LZ's match search are inherently sequential per line).  Outputs
+are byte-identical to the scalar reference compressors, property-tested
+in ``tests/test_vector_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..base import LINE_SIZE, CompressedLine, Compressor
+from ..bdi import BDICompressor
+from ..bpc import BPCCompressor
+from ..cpack import CPackCompressor
+from ..fpc import FPCCompressor
+from ..lz import LZCompressor
+from ..zero import ZeroCompressor
+from .bdi import BDIKernel
+from .bpc import BPCKernel
+from .fpc import FPCKernel
+from .layout import lines_to_array
+from .zero import ZeroKernel
+
+_KERNELS: Dict[str, object] = {
+    "bpc": lambda n: BPCKernel(n),
+    "bpc-transform-only": lambda n: BPCKernel(n, transform_only=True),
+    "bdi": BDIKernel,
+    "fpc": FPCKernel,
+    "zero": ZeroKernel,
+}
+
+_SCALARS: Dict[str, object] = {
+    "bpc": lambda n: BPCCompressor(n),
+    "bpc-transform-only": lambda n: BPCCompressor(n, transform_only=True),
+    "bdi": BDICompressor,
+    "fpc": FPCCompressor,
+    "cpack": CPackCompressor,
+    "lz": LZCompressor,
+    "zero": ZeroCompressor,
+}
+
+
+def vectorized_algorithms() -> List[str]:
+    """Algorithm names with a true numpy kernel (no scalar fallback)."""
+    return sorted(_KERNELS)
+
+
+class BatchCompressor:
+    """Compress/decompress N cache lines per call.
+
+    ``vectorized`` tells whether a numpy kernel backs this instance;
+    when False every batch call falls back to a scalar loop, so the
+    API stays uniform across all registry algorithms.
+    """
+
+    def __init__(self, algorithm: str = "bpc",
+                 line_size: int = LINE_SIZE) -> None:
+        if algorithm not in _SCALARS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; "
+                             f"known: {sorted(_SCALARS)}")
+        self.algorithm = algorithm
+        self.line_size = line_size
+        self._scalar: Compressor = _SCALARS[algorithm](line_size)
+        factory = _KERNELS.get(algorithm)
+        self._kernel = factory(line_size) if factory is not None else None
+
+    @classmethod
+    def for_compressor(cls, compressor: Compressor) -> "BatchCompressor":
+        """The batch counterpart of an existing scalar compressor."""
+        name = compressor.name
+        if getattr(compressor, "transform_only", False):
+            name = f"{name}-transform-only"
+        batch = cls(name, compressor.line_size)
+        batch._scalar = compressor  # share any compressor-local state
+        return batch
+
+    @property
+    def name(self) -> str:
+        return self._scalar.name
+
+    @property
+    def vectorized(self) -> bool:
+        return self._kernel is not None
+
+    def batch_compress(self, lines: Sequence[bytes]) -> List[CompressedLine]:
+        """Compress N lines; element i equals ``scalar.compress(lines[i])``."""
+        if self._kernel is None:
+            return [self._scalar.compress(bytes(line)) for line in lines]
+        return self._kernel.compress(lines_to_array(lines, self.line_size))
+
+    def batch_size_bits(self, lines: Sequence[bytes]) -> np.ndarray:
+        """Encoded sizes only — the pure-array fast path (no payloads)."""
+        if self._kernel is None:
+            return np.array([self._scalar.compress(bytes(line)).size_bits
+                             for line in lines], dtype=np.int64)
+        return self._kernel.size_bits(lines_to_array(lines, self.line_size))
+
+    def batch_decompress(self, lines: Sequence[CompressedLine]) -> List[bytes]:
+        """Invert :meth:`batch_compress` exactly."""
+        if self._kernel is None:
+            return [self._scalar.decompress(line) for line in lines]
+        return self._kernel.decompress(lines)
+
+
+def make_batch_compressor(name: str,
+                          line_size: int = LINE_SIZE) -> BatchCompressor:
+    """Construct a batch compressor by registry name."""
+    return BatchCompressor(name, line_size)
+
+
+def batch_compressor_for(compressor: Compressor
+                         ) -> Optional[BatchCompressor]:
+    """Batch counterpart for a scalar compressor, or None if unknown."""
+    name = compressor.name
+    if getattr(compressor, "transform_only", False):
+        name = f"{name}-transform-only"
+    if name not in _SCALARS:
+        return None
+    return BatchCompressor.for_compressor(compressor)
+
+
+__all__ = [
+    "BatchCompressor",
+    "batch_compressor_for",
+    "make_batch_compressor",
+    "vectorized_algorithms",
+]

@@ -1,0 +1,163 @@
+"""Vector Base-Delta-Immediate kernel (docs/KERNELS.md).
+
+BDI is the textbook case for batching: every encoding probe is one
+wrapping subtraction plus a range test over the whole ``(N, words)``
+matrix.  The scalar reference tries each of the six base+delta
+encodings with per-word Python arithmetic; here all six probes run as
+whole-array ops and only the winning encoding's payload is assembled.
+
+Feasibility uses the same modular identity as the scalar code: with
+``m = (word - base) mod 2**(8*bb)`` the signed delta fits ``w`` bits
+iff ``m <= 2**(w-1) - 1`` or ``m >= 2**(8*bb) - 2**(w-1)``, and its
+two's-complement image is just ``m & (2**w - 1)`` (the modulus is a
+multiple of ``2**w``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..base import CompressedLine
+from ..bdi import _ENCODINGS, _TAG_BITS, _TAG_RAW, _TAG_REP, _TAG_ZERO, BDICompressor
+from ..bitstream import Bits
+from .layout import words_view
+from .zero import zero_mask
+
+_BE_DTYPE = {1: ">u1", 2: ">u2", 4: ">u4", 8: ">u8"}
+
+
+class BDIKernel:
+    """Batch counterpart of :class:`repro.compression.bdi.BDICompressor`."""
+
+    name = "bdi"
+
+    def __init__(self, line_size: int = 64) -> None:
+        if line_size % 8 != 0:
+            raise ValueError(f"line_size must be a multiple of 8, got {line_size}")
+        self.line_size = line_size
+        self._scalar = BDICompressor(line_size)
+        #: Fixed payload bits per encoding (tag excluded), in registry order.
+        self._enc_bits = np.array(
+            [8 * (e.base_bytes + (line_size // e.base_bytes) * e.delta_bytes)
+             for e in _ENCODINGS], dtype=np.int64)
+
+    # -- classification ---------------------------------------------------
+
+    def _feasible(self, arr: np.ndarray) -> np.ndarray:
+        """``(N, 6)`` bool — which base+delta encodings fit each line."""
+        masks = []
+        for enc in _ENCODINGS:
+            words = words_view(arr, enc.base_bytes)
+            w = enc.delta_bytes * 8
+            m = words - words[:, :1]            # wrapping uint subtraction
+            hi = np.asarray(2 ** (w - 1) - 1, dtype=words.dtype)
+            lo = np.asarray(2 ** (enc.base_bytes * 8) - 2 ** (w - 1),
+                            dtype=words.dtype)
+            masks.append(((m <= hi) | (m >= lo)).all(axis=1))
+        return np.stack(masks, axis=1)
+
+    def _classify(self, arr: np.ndarray):
+        """Per-line (kind, enc index, size_bits) following scalar priority."""
+        n = arr.shape[0]
+        zero = zero_mask(arr)
+        u64 = words_view(arr, 8)
+        rep = (u64 == u64[:, :1]).all(axis=1) & ~zero
+        feasible = self._feasible(arr)
+        raw_bits = self.line_size * 8
+        sized = np.where(feasible, self._enc_bits[None, :], raw_bits + 1)
+        enc_idx = np.argmin(sized, axis=1)
+        enc_bits = sized[np.arange(n), enc_idx]
+        has_enc = enc_bits < raw_bits  # scalar keeps raw unless strictly smaller
+        size = np.where(zero, 8,
+                        np.where(rep, 64,
+                                 np.where(has_enc, enc_bits, raw_bits)))
+        return zero, rep, has_enc & ~zero & ~rep, enc_idx, size.astype(np.int64)
+
+    def size_bits(self, arr: np.ndarray) -> np.ndarray:
+        return self._classify(arr)[4]
+
+    # -- compression ------------------------------------------------------
+
+    def compress(self, arr: np.ndarray) -> List[CompressedLine]:
+        n = arr.shape[0]
+        zero, rep, enc_won, enc_idx, size = self._classify(arr)
+        out: List[CompressedLine] = [None] * n  # type: ignore[list-item]
+
+        for i in np.flatnonzero(zero):
+            out[i] = CompressedLine(self.name, 8, Bits(_TAG_ZERO, _TAG_BITS),
+                                    self.line_size)
+        u64 = words_view(arr, 8)
+        for i in np.flatnonzero(rep):
+            value = (_TAG_REP << 64) | int(u64[i, 0])
+            out[i] = CompressedLine(self.name, 64, Bits(value, _TAG_BITS + 64),
+                                    self.line_size)
+
+        for e, enc in enumerate(_ENCODINGS):
+            rows = np.flatnonzero(enc_won & (enc_idx == e))
+            if not rows.size:
+                continue
+            words = words_view(arr[rows], enc.base_bytes)
+            base = words[:, 0]
+            w = enc.delta_bytes * 8
+            tc = ((words - base[:, None])
+                  & np.asarray(2 ** w - 1, dtype=words.dtype))
+            delta_be = tc.astype(_BE_DTYPE[enc.delta_bytes])
+            nwords = words.shape[1]
+            body_bits = nwords * w
+            payload_bits = enc.base_bytes * 8 + body_bits
+            for k, i in enumerate(rows):
+                value = (enc.tag << (enc.base_bytes * 8)) | int(base[k])
+                value = (value << body_bits) | int.from_bytes(
+                    delta_be[k].tobytes(), "big")
+                out[i] = CompressedLine(
+                    self.name, payload_bits,
+                    Bits(value, _TAG_BITS + payload_bits), self.line_size)
+
+        raw_bits = self.line_size * 8
+        for i in np.flatnonzero(~zero & ~rep & ~enc_won):
+            value = (_TAG_RAW << raw_bits) | int.from_bytes(
+                arr[i].tobytes(), "big")
+            out[i] = CompressedLine(self.name, raw_bits,
+                                    Bits(value, _TAG_BITS + raw_bits),
+                                    self.line_size)
+        return out
+
+    # -- decompression ----------------------------------------------------
+
+    def decompress(self, lines) -> List[bytes]:
+        out: List[bytes] = []
+        by_tag = {e.tag: e for e in _ENCODINGS}
+        for line in lines:
+            self._scalar._check_line(line)
+            tag = line.payload.value >> (line.payload.length - _TAG_BITS)
+            if tag == _TAG_ZERO:
+                out.append(bytes(line.original_size))
+            elif tag == _TAG_REP:
+                rep = line.payload.value & ((1 << 64) - 1)
+                out.append(rep.to_bytes(8, "little")
+                           * (line.original_size // 8))
+            elif tag == _TAG_RAW:
+                raw = line.payload.value & ((1 << (line.original_size * 8)) - 1)
+                out.append(raw.to_bytes(line.original_size, "big"))
+            else:
+                enc = by_tag[tag]
+                body_bytes = line.original_size // enc.base_bytes * enc.delta_bytes
+                body = (line.payload.value
+                        & ((1 << ((enc.base_bytes + body_bytes) * 8)) - 1)
+                        ).to_bytes(enc.base_bytes + body_bytes, "big")
+                base = int.from_bytes(body[:enc.base_bytes], "big")
+                deltas = np.frombuffer(body[enc.base_bytes:],
+                                       dtype=_BE_DTYPE[enc.delta_bytes])
+                w = enc.delta_bytes * 8
+                signed = deltas.astype(np.int64)
+                signed = signed - ((signed >> (w - 1)) << w)
+                udtype = {2: np.uint16, 4: np.uint32, 8: np.uint64}[enc.base_bytes]
+                words = (np.asarray(base, dtype=udtype)
+                         + signed.astype(udtype))
+                out.append(words.astype(f"<u{enc.base_bytes}").tobytes())
+        return out
+
+
+__all__ = ["BDIKernel"]

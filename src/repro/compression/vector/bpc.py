@@ -1,0 +1,258 @@
+"""Vector Bit-Plane-Compression kernel (docs/KERNELS.md).
+
+The expensive parts of BPC — the 33-bit delta transform, the bit-plane
+transpose, and the DBX symbol classification — are all data-parallel,
+which is exactly why the original hardware design exists (Kim et al.,
+ISCA 2016).  Here they run as whole-batch array ops:
+
+* deltas: one wrapping subtraction over the ``(N, 15)`` word matrix;
+* bit planes: 33 masked-shift matmuls producing an ``(N, 33)`` plane
+  matrix (plane ``p`` packs bit ``32-p`` of every delta) — the scalar
+  reference spends ~500 Python operations per line on this transpose;
+* DBX + symbol classes: shifted XOR and power-of-two tests on the
+  plane matrix, with zero-run lengths from two column scans.
+
+Both the delta mode and the no-transform (plain) mode are classified
+for every line; mode selection then replicates the scalar reference's
+exact rule (plain is only *considered* when the delta encoding exceeds
+one 64-bit bin, and wins only when strictly smaller; raw wins when
+neither beats ``line_size*8 + 2`` bits).  Payload assembly walks each
+line once over the precomputed class/position matrices, emitting the
+same bit stream the scalar encoder writes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..base import CompressedLine
+from ..bitstream import Bits
+from ..bpc import _MODE_BITS, _MODE_DELTA, _MODE_PLAIN, _MODE_RAW, BPCCompressor
+from .layout import words_view
+
+_WORD_BITS = 32
+
+# Plane symbol classes (internal to this kernel).
+_RUN = 0        # DBX == 0, folded into a zero-run token
+_DBP0 = 1       # DBX != 0 but the DBP itself is zero ('00001')
+_ONES = 2       # all-ones DBX plane ('00000')
+_SINGLE = 3     # single one ('00011' + pos)
+_DOUBLE = 4     # two consecutive ones ('00010' + pos)
+_RAW_PLANE = 5  # uncompressed ('1' + plane)
+
+
+class _PlaneGrid:
+    """Classified DBX planes for one mode over the whole batch."""
+
+    def __init__(self, values: np.ndarray, n_planes: int, width: int) -> None:
+        self.n_planes = n_planes
+        self.width = width
+        self.pos_bits = max(1, (width - 1).bit_length())
+        mask = (1 << width) - 1
+        n = values.shape[0]
+
+        # Bit-plane transpose in three array ops: explode every value
+        # into its big-endian bit vector, keep the low n_planes bits
+        # (bit b of value lands at column 64-1-b, so plane p = column
+        # 64-n_planes+p), and collapse the value axis with a weighted
+        # matmul (bit of value i contributes 2**i to its plane).
+        bits = np.unpackbits(
+            values.astype(">u8").view(np.uint8).reshape(n, width, 8),
+            axis=2)[:, :, 64 - n_planes:]
+        weights = (np.int64(1) << np.arange(width, dtype=np.int64))
+        planes = np.matmul(bits.transpose(0, 2, 1).astype(np.int64), weights)
+
+        dbx = planes.copy()
+        dbx[:, 1:] ^= planes[:, :-1]
+
+        single = (dbx & (dbx - 1)) == 0          # power of two (or 0)
+        low = dbx & -dbx
+        double = (dbx == (low | (low << 1))) & ((low << 1) <= mask)
+        cls = np.select(
+            [dbx == 0, planes == 0, dbx == mask, single, double],
+            [_RUN, _DBP0, _ONES, _SINGLE, _DOUBLE],
+            default=_RAW_PLANE).astype(np.uint8)
+
+        # Bit positions for single/double symbols (log2 is exact on
+        # powers of two); garbage elsewhere, masked by the class.
+        safe = np.where(dbx > 0, dbx, 1).astype(np.float64)
+        msb = np.log2(safe).astype(np.int64)
+        low_safe = np.where(low > 0, low, 1).astype(np.float64)
+        self.pos = np.where(cls == _SINGLE, msb,
+                            np.log2(low_safe).astype(np.int64))
+
+        # Zero-run accounting: with <= 33 planes every maximal run fits
+        # one '01'+len token, so a run costs 7 bits (3 when length 1).
+        zx = cls == _RUN
+        run_end = zx.copy()
+        run_end[:, :-1] &= ~zx[:, 1:]
+        count = np.zeros_like(planes)
+        for p in range(n_planes):
+            count[:, p] = np.where(zx[:, p],
+                                   (count[:, p - 1] if p else 0) + 1, 0)
+        run_cost = np.where(count == 1, 3, 7) * run_end
+
+        symbol_cost = np.select(
+            [cls == _DBP0, cls == _ONES, cls == _SINGLE, cls == _DOUBLE,
+             cls == _RAW_PLANE],
+            [5, 5, 5 + self.pos_bits, 5 + self.pos_bits, 1 + width],
+            default=0)
+        self.bits = (symbol_cost + run_cost).sum(axis=1)
+        self.cls = cls
+        self.dbx = dbx
+
+
+class BPCKernel:
+    """Batch counterpart of :class:`repro.compression.bpc.BPCCompressor`."""
+
+    name = "bpc"
+
+    def __init__(self, line_size: int = 64, transform_only: bool = False) -> None:
+        if line_size % 4 != 0:
+            raise ValueError(f"line_size must be a multiple of 4, got {line_size}")
+        self.line_size = line_size
+        self.transform_only = transform_only
+        self._scalar = BPCCompressor(line_size, transform_only=transform_only)
+        self._nwords = line_size // 4
+
+    # -- classification ---------------------------------------------------
+
+    def _grids(self, arr: np.ndarray):
+        words = words_view(arr, 4).astype(np.int64)
+        deltas = (words[:, 1:] - words[:, :-1]) & ((1 << (_WORD_BITS + 1)) - 1)
+        delta_grid = _PlaneGrid(deltas, _WORD_BITS + 1, self._nwords - 1)
+        plain_grid = _PlaneGrid(words, _WORD_BITS, self._nwords)
+        base = words[:, 0]
+        signed = np.where(base >= 1 << 31, base - (1 << 32), base)
+        base_bits = np.select(
+            [base == 0,
+             (signed >= -8) & (signed <= 7),
+             (signed >= -128) & (signed <= 127),
+             (signed >= -(1 << 15)) & (signed <= (1 << 15) - 1)],
+            [3, 7, 11, 19], default=33)
+        return words, base, signed, base_bits, delta_grid, plain_grid
+
+    def _select(self, base_bits, delta_grid, plain_grid):
+        """Per-line (mode, size) following the scalar selection rule."""
+        delta_size = _MODE_BITS + base_bits + delta_grid.bits
+        plain_size = _MODE_BITS + plain_grid.bits
+        size = delta_size
+        mode = np.full(delta_size.shape, _MODE_DELTA, dtype=np.uint8)
+        if not self.transform_only:
+            take_plain = (delta_size > 64) & (plain_size < delta_size)
+            size = np.where(take_plain, plain_size, size)
+            mode[take_plain] = _MODE_PLAIN
+        raw_bits = self.line_size * 8 + _MODE_BITS
+        raw = size >= raw_bits
+        size = np.where(raw, raw_bits, size)
+        mode[raw] = _MODE_RAW
+        return mode, size.astype(np.int64)
+
+    def size_bits(self, arr: np.ndarray) -> np.ndarray:
+        _, _, _, base_bits, delta_grid, plain_grid = self._grids(arr)
+        return self._select(base_bits, delta_grid, plain_grid)[1]
+
+    # -- compression ------------------------------------------------------
+
+    def compress(self, arr: np.ndarray) -> List[CompressedLine]:
+        words, base, signed, base_bits, delta_grid, plain_grid = \
+            self._grids(arr)
+        mode, size = self._select(base_bits, delta_grid, plain_grid)
+        base_l = base.tolist()
+        signed_l = signed.tolist()
+        for grid in (delta_grid, plain_grid):
+            grid.cls_l = grid.cls.tolist()
+            grid.dbx_l = grid.dbx.tolist()
+            grid.pos_l = grid.pos.tolist()
+        mode_l = mode.tolist()
+        size_l = size.tolist()
+        out: List[CompressedLine] = []
+        for i in range(arr.shape[0]):
+            if mode_l[i] == _MODE_RAW:
+                nbits = self.line_size * 8
+                acc = (_MODE_RAW << nbits) | int.from_bytes(
+                    arr[i].tobytes(), "big")
+                out.append(CompressedLine(self.name, nbits + _MODE_BITS,
+                                          Bits(acc, nbits + _MODE_BITS),
+                                          self.line_size))
+                continue
+            if mode_l[i] == _MODE_DELTA:
+                acc, nbits = self._encode_base(base_l[i], signed_l[i])
+                grid = delta_grid
+            else:
+                acc, nbits = _MODE_PLAIN, _MODE_BITS
+                grid = plain_grid
+            acc, nbits = self._emit_planes(grid, i, acc, nbits)
+            assert nbits == size_l[i]
+            out.append(CompressedLine(self.name, nbits, Bits(acc, nbits),
+                                      self.line_size))
+        return out
+
+    @staticmethod
+    def _encode_base(base: int, signed: int):
+        """The scalar base-word prefix code, prefixed by the mode bits."""
+        acc = _MODE_DELTA
+        if base == 0:
+            return (acc << 3) | 0b000, _MODE_BITS + 3
+        if -8 <= signed <= 7:
+            return (((acc << 3) | 0b001) << 4) | (signed & 0xF), _MODE_BITS + 7
+        if -128 <= signed <= 127:
+            return (((acc << 3) | 0b010) << 8) | (signed & 0xFF), _MODE_BITS + 11
+        if -(1 << 15) <= signed <= (1 << 15) - 1:
+            return ((((acc << 3) | 0b011) << 16)
+                    | (signed & 0xFFFF)), _MODE_BITS + 19
+        return (((acc << 1) | 1) << 32) | base, _MODE_BITS + 33
+
+    @staticmethod
+    def _emit_planes(grid: _PlaneGrid, i: int, acc: int, nbits: int):
+        cls = grid.cls_l[i]
+        dbx = grid.dbx_l[i]
+        pos = grid.pos_l[i]
+        pos_bits = grid.pos_bits
+        width = grid.width
+        run = 0
+        for p in range(grid.n_planes):
+            c = cls[p]
+            if c == _RUN:
+                run += 1
+                continue
+            if run >= 2:
+                acc = (((acc << 2) | 0b01) << 5) | (run - 2)
+                nbits += 7
+            elif run == 1:
+                acc = (acc << 3) | 0b001
+                nbits += 3
+            run = 0
+            if c == _DBP0:
+                acc = (acc << 5) | 0b00001
+                nbits += 5
+            elif c == _ONES:
+                acc = acc << 5
+                nbits += 5
+            elif c == _SINGLE:
+                acc = (((acc << 5) | 0b00011) << pos_bits) | pos[p]
+                nbits += 5 + pos_bits
+            elif c == _DOUBLE:
+                acc = (((acc << 5) | 0b00010) << pos_bits) | pos[p]
+                nbits += 5 + pos_bits
+            else:
+                acc = (((acc << 1) | 1) << width) | dbx[p]
+                nbits += 1 + width
+        if run >= 2:
+            acc = (((acc << 2) | 0b01) << 5) | (run - 2)
+            nbits += 7
+        elif run == 1:
+            acc = (acc << 3) | 0b001
+            nbits += 3
+        return acc, nbits
+
+    def decompress(self, lines) -> List[bytes]:
+        """Prefix-coded planes decode serially; BPC decode is not on the
+        simulated hot path, so this delegates to the scalar reference
+        decoder line by line."""
+        return [self._scalar.decompress(line) for line in lines]
+
+
+__all__ = ["BPCKernel"]

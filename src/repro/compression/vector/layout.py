@@ -1,0 +1,55 @@
+"""Array layouts shared by the vector kernels (docs/KERNELS.md).
+
+A batch of N cache lines is one contiguous ``(N, line_size)`` uint8
+array; each kernel reinterprets that buffer as little-endian words of
+its working width (``(N, 16)`` uint32 for BPC/FPC, ``(N, 8)`` uint64
+and friends for BDI's bases) without copying.  Keeping the byte matrix
+as the canonical interchange form means one conversion per batch, not
+one per (line, algorithm) pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def lines_to_array(lines: Sequence[bytes], line_size: int = 64) -> np.ndarray:
+    """Stack ``lines`` into an ``(N, line_size)`` uint8 matrix.
+
+    Accepts an iterable of equal-length ``bytes`` (or anything the
+    buffer protocol exposes) and validates every row length, mirroring
+    ``Compressor._check_input`` for the whole batch at once.
+    """
+    if isinstance(lines, np.ndarray):
+        arr = np.ascontiguousarray(lines, dtype=np.uint8)
+        if arr.ndim != 2 or arr.shape[1] != line_size:
+            raise ValueError(
+                f"expected an (N, {line_size}) array, got {arr.shape}")
+        return arr
+    rows = list(lines)
+    for row in rows:
+        if len(row) != line_size:
+            raise ValueError(
+                f"expected {line_size}-byte lines, got {len(row)} bytes")
+    if not rows:
+        return np.empty((0, line_size), dtype=np.uint8)
+    return np.frombuffer(b"".join(bytes(r) for r in rows),
+                         dtype=np.uint8).reshape(len(rows), line_size)
+
+
+def words_view(arr: np.ndarray, word_bytes: int) -> np.ndarray:
+    """Reinterpret an ``(N, line_size)`` byte matrix as LE words.
+
+    Returns an ``(N, line_size // word_bytes)`` view (no copy) with
+    dtype uint16/uint32/uint64 — the vector analogue of
+    :func:`repro.compression.base.words_of`.
+    """
+    dtype = {2: "<u2", 4: "<u4", 8: "<u8"}[word_bytes]
+    return np.ascontiguousarray(arr).view(dtype)
+
+
+def array_to_lines(arr: np.ndarray) -> List[bytes]:
+    """Split an ``(N, line_size)`` uint8 matrix back into bytes rows."""
+    return [row.tobytes() for row in np.asarray(arr, dtype=np.uint8)]

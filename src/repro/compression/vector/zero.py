@@ -1,0 +1,55 @@
+"""Vector zero-line kernel (docs/KERNELS.md).
+
+Zero detection is the cheapest and highest-value classification in the
+whole pipeline (the paper serves zero lines from metadata alone,
+§VII-A); over a batch it is a single ``any`` reduction per line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..base import CompressedLine
+from ..bitstream import Bits
+from ..zero import ZeroCompressor
+from .layout import lines_to_array
+
+
+def zero_mask(arr: np.ndarray) -> np.ndarray:
+    """``(N,)`` bool — True where the whole line is zero bytes."""
+    return ~arr.any(axis=1)
+
+
+class ZeroKernel:
+    """Batch counterpart of :class:`repro.compression.zero.ZeroCompressor`."""
+
+    name = "zero"
+
+    def __init__(self, line_size: int = 64) -> None:
+        self.line_size = line_size
+        self._scalar = ZeroCompressor(line_size)
+
+    def size_bits(self, arr: np.ndarray) -> np.ndarray:
+        return np.where(zero_mask(arr), 0, self.line_size * 8).astype(np.int64)
+
+    def compress(self, arr: np.ndarray) -> List[CompressedLine]:
+        nbits = self.line_size * 8
+        zero = zero_mask(arr)
+        out: List[CompressedLine] = []
+        for i in range(arr.shape[0]):
+            if zero[i]:
+                out.append(CompressedLine(self.name, 0, Bits(0, 0),
+                                          self.line_size))
+            else:
+                raw = int.from_bytes(arr[i].tobytes(), "big")
+                out.append(CompressedLine(self.name, nbits, Bits(raw, nbits),
+                                          self.line_size))
+        return out
+
+    def decompress(self, lines) -> List[bytes]:
+        return [self._scalar.decompress(line) for line in lines]
+
+
+__all__ = ["ZeroKernel", "zero_mask", "lines_to_array"]

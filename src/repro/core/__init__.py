@@ -2,6 +2,8 @@
 
 The compressed-memory controller (OSPA→MPA translation, packing,
 inflation room, prediction, repacking) and all of its building blocks.
+DESIGN.md maps each module to the paper's sections; the fault-recovery
+behaviour is documented in docs/ROBUSTNESS.md.
 """
 
 from ..memory.allocator import (

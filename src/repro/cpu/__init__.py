@@ -1,4 +1,4 @@
-"""CPU core timing substrate."""
+"""CPU core timing substrate (DESIGN.md)."""
 
 from .core import AnalyticCore, CoreConfig, CoreStats
 

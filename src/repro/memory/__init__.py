@@ -1,4 +1,4 @@
-"""Main-memory substrate: DDR4 timing model and capacity accounting."""
+"""Main-memory substrate: DDR4 timing, capacity accounting (DESIGN.md)."""
 
 from .allocator import AllocatorStats, ChunkAllocator, VariableAllocator
 from .dram import DDR4Channel, DRAMStats, DRAMSystem, DRAMTimings

@@ -1,4 +1,4 @@
-"""OS substrate: virtual memory, cgroups-style budgets, LRU paging."""
+"""OS substrate: virtual memory, budgets, LRU paging (DESIGN.md)."""
 
 from .cgroups import DynamicBudget, StaticBudget
 from .paging import (

@@ -24,6 +24,11 @@ event           required fields (beyond ``event``, ``run_id``, ``ts``)
                 ``wall_s`` (float), ``ok`` (bool)
 ``run_end``     ``wall_s`` (float), ``units`` (int), ``cache_hits``
                 (int)
+``bench``       ``out`` (str), ``lines`` (int), ``algorithms``
+                (list), ``best_speedup`` (float), ``match`` (bool) —
+                one kernel micro-benchmark digest per
+                ``python -m repro.analysis bench`` run
+                (docs/KERNELS.md)
 ==============  =====================================================
 
 ``unit_end`` additionally carries ``stats`` (a ControllerStats summary
@@ -61,6 +66,8 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
                  "wall_s": (int, float), "ok": (bool,)},
     "run_end": {"wall_s": (int, float), "units": (int,),
                 "cache_hits": (int,)},
+    "bench": {"out": (str,), "lines": (int,), "algorithms": (list,),
+              "best_speedup": (int, float), "match": (bool,)},
 }
 
 _COMMON_FIELDS = {"event": (str,), "run_id": (str,), "ts": (int, float)}

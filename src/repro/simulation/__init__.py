@@ -1,4 +1,4 @@
-"""Simulation drivers: cycle-based, 4-core, capacity impact, overall."""
+"""Simulation drivers: cycle-based, 4-core, capacity, overall (DESIGN.md)."""
 
 from .capacity import (
     CapacityConfig,

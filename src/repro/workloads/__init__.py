@@ -1,4 +1,4 @@
-"""Synthetic workload substitution for the paper's benchmark suite."""
+"""Synthetic workloads substituting the paper's benchmarks (DESIGN.md)."""
 
 from .datagen import (
     LINE_SIZE,

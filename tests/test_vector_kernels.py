@@ -1,0 +1,242 @@
+"""Scalar-vs-vector equivalence for the numpy batch kernels.
+
+The contract (docs/KERNELS.md) is byte-identity: element i of
+``batch_compress(lines)`` equals the scalar ``compress(lines[i])`` —
+same algorithm tag, same ``size_bits``, same payload bit stream — for
+every algorithm with a vector kernel, on adversarial fixtures and
+hypothesis-random lines alike.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    BDICompressor,
+    BPCCompressor,
+    BatchCompressor,
+    BestOfCompressor,
+    FPCCompressor,
+    ZeroCompressor,
+    batch_compressor_for,
+    make_batch_compressor,
+    vectorized_algorithms,
+)
+from repro.compression.vector import lines_to_array, zero_mask
+from repro.compression.vector.bdi import BDIKernel
+from repro.compression.vector.bpc import BPCKernel
+from repro.compression.vector.fpc import FPCKernel
+from repro.compression.vector.zero import ZeroKernel
+
+VECTORIZED = vectorized_algorithms()
+
+
+def adversarial_lines():
+    """Fixtures aimed at every kernel's decision boundaries."""
+    yield bytes(64)                                        # all zero
+    yield b"\xff" * 64                                     # all ones
+    yield bytes(range(64))                                 # byte ramp
+    yield struct.pack("<16I", *[7] * 16)                   # repeated word
+    yield struct.pack("<16I", *range(100, 116))            # small deltas
+    yield struct.pack("<16i", *[-1] * 16)                  # negative small
+    yield struct.pack("<8Q", *[0x7F0000000000 + i * 64 for i in range(8)])
+    yield struct.pack("<16I", *[0xDEADBEEF] * 16)          # rep word
+    yield struct.pack("<16I", *([0] * 8 + [0xFFFFFFFF] * 8))
+    yield (b"hello world! " * 5)[:64]                      # text
+    yield struct.pack("<16I", *[1 << 31] * 16)             # sign boundary
+    yield struct.pack("<16I", 0xFFFFFFFF, *[0] * 15)       # big then zeros
+    # BDI delta-width boundaries: exactly fits / just misses each width.
+    for width in (1, 2, 4):
+        fit = (1 << (8 * width - 1)) - 1
+        yield struct.pack("<16I", 1000, *([1000 + fit] * 15))
+        yield struct.pack("<16I", 1000, *([1000 + fit + 1] * 15))
+    # FPC prefix boundaries: 4/8/16-bit sign-extension edges, half-zero,
+    # two halfword SE8, repeated bytes, zero runs of exactly 8.
+    yield struct.pack("<16i", *([7, -8, 127, -128] * 4))
+    yield struct.pack("<16i", *([32767, -32768] * 8))
+    yield struct.pack("<16I", *([0x00012300] * 16))        # half zero low
+    yield struct.pack("<16I", *([0x007F00FF] * 16))        # two SE8 halves
+    yield b"\xab" * 64                                     # repeated bytes
+    yield struct.pack("<16I", *([0] * 8 + [1] + [0] * 7))  # 8-zero run
+    # BPC plane shapes: single-one and two-consecutive-ones DBX planes.
+    yield struct.pack("<16I", *[1 << i for i in range(16)])
+    yield struct.pack("<16I", *[3 << i for i in range(16)])
+
+
+def mixed_corpus(n=256, seed=0):
+    rng = np.random.RandomState(seed)
+    fixtures = list(adversarial_lines())
+    corpus = list(fixtures)
+    while len(corpus) < n:
+        kind = len(corpus) % 4
+        if kind == 0:
+            corpus.append(rng.bytes(64))
+        elif kind == 1:
+            corpus.append(bytes(rng.randint(0, 4, 64, dtype=np.uint8)))
+        elif kind == 2:
+            base = int(rng.randint(0, 1 << 24))
+            corpus.append(struct.pack(
+                "<16I", *[(base + i) & 0xFFFFFFFF for i in range(16)]))
+        else:
+            corpus.append(bytes(64))
+    return corpus
+
+
+@pytest.mark.parametrize("algorithm", VECTORIZED)
+class TestEquivalence:
+    def test_adversarial_payloads(self, algorithm):
+        batch = BatchCompressor(algorithm)
+        scalar = batch._scalar
+        lines = list(adversarial_lines())
+        for line, encoded in zip(lines, batch.batch_compress(lines)):
+            assert encoded == scalar.compress(line)
+
+    def test_mixed_corpus_payloads(self, algorithm):
+        batch = BatchCompressor(algorithm)
+        scalar = batch._scalar
+        lines = mixed_corpus()
+        for line, encoded in zip(lines, batch.batch_compress(lines)):
+            assert encoded == scalar.compress(line)
+
+    def test_sizes_match_scalar(self, algorithm):
+        batch = BatchCompressor(algorithm)
+        scalar = batch._scalar
+        lines = mixed_corpus()
+        sizes = batch.batch_size_bits(lines)
+        assert sizes.tolist() == [scalar.compress(line).size_bits
+                                  for line in lines]
+
+    def test_round_trip(self, algorithm):
+        batch = BatchCompressor(algorithm)
+        lines = mixed_corpus(64)
+        assert batch.batch_decompress(batch.batch_compress(lines)) == lines
+
+    def test_all_zero_batch(self, algorithm):
+        batch = BatchCompressor(algorithm)
+        lines = [bytes(64)] * 5
+        for encoded in batch.batch_compress(lines):
+            assert encoded == batch._scalar.compress(bytes(64))
+
+
+@pytest.mark.parametrize("algorithm", VECTORIZED)
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=64, max_size=64))
+def test_random_line_equivalence(algorithm, data):
+    """Property: the batch of one random line equals the scalar result."""
+    batch = BatchCompressor(algorithm)
+    encoded = batch.batch_compress([data])[0]
+    assert encoded == batch._scalar.compress(data)
+    assert batch.batch_decompress([encoded]) == [data]
+
+
+@settings(max_examples=20, deadline=None)
+@given(lines=st.lists(st.binary(min_size=64, max_size=64),
+                      min_size=1, max_size=12))
+def test_random_batch_best_of(lines):
+    """The selector's batch fast path matches per-line scalar min()."""
+    best = BestOfCompressor([BPCCompressor(), BDICompressor(),
+                             FPCCompressor(), ZeroCompressor()])
+    assert best.batch_compress(lines) == [best.compress(line)
+                                          for line in lines]
+
+
+def test_scalar_fallback_algorithms():
+    """cpack/lz get the uniform API via a scalar loop."""
+    for name in ("cpack", "lz"):
+        batch = make_batch_compressor(name)
+        assert not batch.vectorized
+        lines = mixed_corpus(16)
+        assert batch.batch_compress(lines) == [
+            batch._scalar.compress(line) for line in lines]
+
+
+def test_batch_compressor_for_shares_instance():
+    scalar = BPCCompressor(transform_only=True)
+    batch = batch_compressor_for(scalar)
+    assert batch is not None and batch.vectorized
+    assert batch._scalar is scalar
+    line = struct.pack("<16I", *range(16))
+    assert batch.batch_compress([line])[0] == scalar.compress(line)
+
+
+def test_default_batch_compress_is_scalar_loop():
+    scalar = BDICompressor()
+    lines = mixed_corpus(8)
+    from repro.compression.base import Compressor
+    assert Compressor.batch_compress(scalar, lines) == [
+        scalar.compress(line) for line in lines]
+
+
+def test_layout_round_trip_and_zero_mask():
+    lines = mixed_corpus(32)
+    arr = lines_to_array(lines)
+    assert arr.shape == (32, 64)
+    assert zero_mask(arr).tolist() == [not any(line) for line in lines]
+
+
+def test_kernel_classes_direct():
+    """The per-algorithm kernels are usable on raw arrays."""
+    lines = mixed_corpus(48)
+    arr = lines_to_array(lines)
+    for kernel, scalar in [
+        (BPCKernel(), BPCCompressor()),
+        (BPCKernel(transform_only=True), BPCCompressor(transform_only=True)),
+        (BDIKernel(), BDICompressor()),
+        (FPCKernel(), FPCCompressor()),
+        (ZeroKernel(), ZeroCompressor()),
+    ]:
+        sizes = kernel.size_bits(arr)
+        assert sizes.tolist() == [scalar.compress(line).size_bits
+                                  for line in lines]
+
+
+def test_prime_size_cache_matches_demand_path():
+    from repro.core.config import CompressoConfig
+    from repro.core.controller import CompressedMemoryController, _SizeCache
+    from repro.memory.physical import MemoryGeometry
+
+    lines = mixed_corpus(64)
+    geometry = MemoryGeometry(installed_bytes=32 << 20, advertised_ratio=2.0)
+    controller = CompressedMemoryController(CompressoConfig(), geometry)
+    _SizeCache._shared.clear()
+    try:
+        added = controller.prime_size_cache(lines)
+        assert added == len({bytes(l) for l in lines if any(l)})
+        primed = dict(_SizeCache._shared)
+        _SizeCache._shared.clear()
+        for line in lines:
+            if any(line):
+                controller._sizes.size_bytes(line)
+        for key, size in _SizeCache._shared.items():
+            assert primed[key] == size
+        # Idempotent: a second prime adds nothing.
+        assert controller.prime_size_cache(lines) == 0
+    finally:
+        _SizeCache._shared.clear()
+
+
+def test_batch_install_simulation_identical():
+    from repro.core.controller import _SizeCache
+    from repro.simulation.simulator import SimulationConfig, simulate
+    from repro.workloads.profiles import PROFILES
+
+    profile = PROFILES[sorted(PROFILES)[0]]
+    base = SimulationConfig(n_events=500, scale=0.02)
+    _SizeCache._shared.clear()
+    plain = simulate(profile, "compresso", base)
+    _SizeCache._shared.clear()
+    batched = simulate(profile, "compresso",
+                       SimulationConfig(n_events=500, scale=0.02,
+                                        batch_install=True))
+    assert plain.cycles == batched.cycles
+    assert plain.final_ratio == batched.final_ratio
+    assert (plain.controller_stats.demand_reads
+            == batched.controller_stats.demand_reads)
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        BatchCompressor("nope")
