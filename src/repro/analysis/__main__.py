@@ -43,6 +43,15 @@ and records the throughput trajectory in ``BENCH_kernels.json``::
     python -m repro.analysis bench --quick --no-journal
     python -m repro.analysis bench --algorithms bdi,bpc --force
 
+The ``index`` and ``compare`` subcommands (docs/RESULTS.md) maintain
+the cross-run SQLite results index and the statistical regression
+gate over it::
+
+    python -m repro.analysis index
+    python -m repro.analysis index --runs
+    python -m repro.analysis compare RUN_A RUN_B
+    python -m repro.analysis run --seeds 5 --filter fig4
+
 The legacy positional form still works and behaves exactly as before
 (serial, no cache, no journal)::
 
@@ -135,6 +144,12 @@ def _run_command(argv) -> int:
                              "(repeatable; default: all)")
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick",
                         help="problem size (default: quick)")
+    parser.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="run every experiment N times with seeds "
+                             "base_seed..base_seed+N-1 and journal the "
+                             "seed per unit, so the results index can "
+                             "test metric differences for significance "
+                             "(docs/RESULTS.md; default: 1)")
     parser.add_argument("--trace-window", type=int, default=None, metavar="N",
                         help="trace cycle-based units and journal a "
                              "timeline digest with N-access windows "
@@ -164,6 +179,8 @@ def _run_command(argv) -> int:
                              "unfinished (from the journal), then rerun; "
                              "cached cells are not recomputed")
     args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
     if args.inject:
         from ..inject import parse_fault_spec
         try:
@@ -216,11 +233,19 @@ def _run_command(argv) -> int:
         journal.event("run_start", jobs=runner.jobs,
                       cache_enabled=cache is not None,
                       experiments=names, scale=args.scale,
-                      sanitize=sanitize)
-    for name in names:
-        result = _invoke(name, scale, runner)
-        print(render(result))
-        print()
+                      sanitize=sanitize, seeds=args.seeds,
+                      base_seed=scale.seed)
+    for offset in range(args.seeds):
+        seed_scale = (scale if offset == 0
+                      else dataclasses.replace(scale,
+                                               seed=scale.seed + offset))
+        if args.seeds > 1:
+            print(f"--- seed {seed_scale.seed} "
+                  f"({offset + 1}/{args.seeds}) ---")
+        for name in names:
+            result = _invoke(name, seed_scale, runner)
+            print(render(result))
+            print()
     if journal is not None:
         journal.event("run_end", wall_s=time.time() - started,
                       units=len(runner.records),
@@ -382,6 +407,12 @@ def main(argv=None) -> int:
     if argv and argv[0] == "bench":
         from .bench import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "index":
+        from ..results.cli import index_main
+        return index_main(argv[1:])
+    if argv and argv[0] == "compare":
+        from ..results.cli import compare_main
+        return compare_main(argv[1:])
     return _legacy_command(argv)
 
 

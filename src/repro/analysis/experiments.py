@@ -129,15 +129,25 @@ def _run_units(runner: Optional[Runner], experiment: str,
     return active.map(units)
 
 
-def _stats_summary(stats: ControllerStats) -> Dict[str, Any]:
-    """The ControllerStats digest journaled with each unit_end event."""
-    return {
+def _stats_summary(stats: ControllerStats,
+                   ratio: Optional[float] = None) -> Dict[str, Any]:
+    """The ControllerStats digest journaled with each unit_end event.
+
+    ``ratio`` attaches the unit's final compression ratio when the
+    caller has one — it is a headline metric of the paper, so the
+    results index (docs/RESULTS.md) wants it alongside the
+    access-overhead counters.
+    """
+    summary = {
         "demand_accesses": stats.demand_accesses,
         "extra_accesses": stats.extra_accesses,
         "relative_extra_accesses": stats.relative_extra_accesses(),
         "metadata_lookups": stats.metadata_lookups,
         "metadata_hit_rate": stats.metadata_hit_rate(),
     }
+    if ratio is not None:
+        summary["compression_ratio"] = ratio
+    return summary
 
 
 # ---------------------------------------------------------------------------
@@ -231,11 +241,13 @@ def _unit_fig4(benchmark: str, scale: ExperimentScale) -> dict:
     stats = None
     timeline = None
     violations = None
+    ratio = None
     for label, config in configs.items():
         prefix = "fixed" if label.startswith("fixed") else "var"
         run = _simulate_with_config(profile, config, scale)
         stats = run.controller_stats
         timeline = run.timeline
+        ratio = run.final_ratio
         if run.sanitizer_violations is not None:
             violations = (violations or 0) + run.sanitizer_violations
         breakdown = stats.breakdown()
@@ -243,7 +255,7 @@ def _unit_fig4(benchmark: str, scale: ExperimentScale) -> dict:
         row[f"{prefix}:split"] = breakdown["split"]
         row[f"{prefix}:ovf"] = breakdown["overflow"]
         row[f"{prefix}:md"] = breakdown["metadata"]
-    output = {"row": row, "stats": _stats_summary(stats)}
+    output = {"row": row, "stats": _stats_summary(stats, ratio=ratio)}
     if timeline is not None:
         output["timeline"] = timeline
     if violations is not None:
@@ -301,14 +313,16 @@ def _unit_fig6(benchmark: str, scale: ExperimentScale) -> dict:
     stats = None
     timeline = None
     violations = None
+    ratio = None
     for name, config in optimization_ladder():
         run = _simulate_with_config(profile, config, scale)
         stats = run.controller_stats
         timeline = run.timeline
+        ratio = run.final_ratio
         if run.sanitizer_violations is not None:
             violations = (violations or 0) + run.sanitizer_violations
         row[name] = stats.relative_extra_accesses()
-    output = {"row": row, "stats": _stats_summary(stats)}
+    output = {"row": row, "stats": _stats_summary(stats, ratio=ratio)}
     if timeline is not None:
         output["timeline"] = timeline
     if violations is not None:
@@ -368,7 +382,8 @@ def _unit_fig7(benchmark: str, scale: ExperimentScale) -> dict:
         "without_repack": without_ratio,
         "relative": without_ratio / with_ratio,
     }
-    return {"row": row, "stats": _stats_summary(with_run.controller_stats)}
+    return {"row": row, "stats": _stats_summary(with_run.controller_stats,
+                                                ratio=with_ratio)}
 
 
 def run_fig7(scale: ExperimentScale = DEFAULT,
@@ -494,7 +509,8 @@ def _unit_fig10(benchmark: str, scale: ExperimentScale,
     row["_stalled"] = bool(
         profile.name in CAPACITY_STALLERS or capacity.stalled)
     return {"row": row,
-            "stats": _stats_summary(runs["compresso"].controller_stats)}
+            "stats": _stats_summary(runs["compresso"].controller_stats,
+                                    ratio=runs["compresso"].final_ratio)}
 
 
 def run_fig10(scale: ExperimentScale = DEFAULT,
@@ -575,8 +591,10 @@ def _unit_fig11(mix: str, scale: ExperimentScale,
         row[f"{system}:overall"] = (
             row[f"{system}:cycle"] * row[f"{system}:cap"])
     row["unconstrained:cap"] = capacity.relative("unconstrained")
+    ratio = runs["compresso"].ratio_timeline[-1]
     return {"row": row,
-            "stats": _stats_summary(runs["compresso"].controller_stats)}
+            "stats": _stats_summary(runs["compresso"].controller_stats,
+                                    ratio=ratio)}
 
 
 def run_fig11(scale: ExperimentScale = DEFAULT,
@@ -647,7 +665,8 @@ def _unit_fig12(benchmark: str, scale: ExperimentScale) -> dict:
             energies["compresso"], baseline)["core"],
     }
     return {"row": row,
-            "stats": _stats_summary(runs["compresso"].controller_stats)}
+            "stats": _stats_summary(runs["compresso"].controller_stats,
+                                    ratio=runs["compresso"].final_ratio)}
 
 
 def run_fig12(scale: ExperimentScale = DEFAULT,
@@ -715,7 +734,8 @@ def _unit_tab2(benchmark: str, scale: ExperimentScale,
             "unconstrained": capacity.relative("unconstrained"),
         })
     return {"budgets": budgets,
-            "stats": _stats_summary(runs["compresso"].controller_stats)}
+            "stats": _stats_summary(runs["compresso"].controller_stats,
+                                    ratio=runs["compresso"].final_ratio)}
 
 
 def run_tab2(scale: ExperimentScale = DEFAULT,
@@ -806,7 +826,8 @@ def _unit_ablation(label: str, scale: ExperimentScale) -> dict:
         "line_overflow_rate": overflow_rate,
         "split_fraction": split_access_fraction(flat_sizes, bins),
     }
-    return {"row": row, "stats": _stats_summary(stats)}
+    return {"row": row, "stats": _stats_summary(stats,
+                                                ratio=row["ratio"])}
 
 
 def run_ablation_design_space(scale: ExperimentScale = DEFAULT,

@@ -25,7 +25,7 @@ HOT_PATH_DIRS = ("src/repro/core", "src/repro/memory", "src/repro/compression")
 #: Markdown files whose relative links must resolve.
 DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
         "docs/OBSERVABILITY.md", "docs/LINTING.md", "docs/ROBUSTNESS.md",
-        "docs/KERNELS.md")
+        "docs/KERNELS.md", "docs/RESULTS.md")
 
 #: (module path, class name) pairs whose public fields must be named in
 #: the documentation set scanned by ``config-knob-documented``.
@@ -130,6 +130,42 @@ class EmitRegisteredRule(Rule):
                         node.lineno, self.id, self.severity,
                         f"emit({name!r}) is not registered in "
                         f"repro.obs.tracer.EVENT_SOURCES")
+
+
+@register
+class JournalEventRegisteredRule(Rule):
+    """String-literal event names journaled via ``.event(`` are typed.
+
+    The run journal validates events against
+    ``repro.runner.journal.EVENT_SCHEMA`` and the results index skips
+    anything unknown (docs/RESULTS.md) — a call site journaling an
+    unregistered name would write records that every downstream
+    consumer silently drops.
+    """
+
+    id = "journal-event-registered"
+    severity = "error"
+    description = ("event names passed to RunJournal.event() as string "
+                   "literals must exist in repro.runner.EVENT_SCHEMA")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs("src/repro", "scripts")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        from ..runner.journal import EVENT_SCHEMA
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "event" and node.args):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                name = first.value
+                if name not in EVENT_SCHEMA:
+                    yield module.finding(
+                        node.lineno, self.id, self.severity,
+                        f"event({name!r}) is not registered in "
+                        f"repro.runner.journal.EVENT_SCHEMA")
 
 
 @register

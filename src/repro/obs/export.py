@@ -146,7 +146,10 @@ def summary(tracer: Tracer, stats=None, registry=None,
         for name, value in collected.items():
             if isinstance(value, dict):     # histogram
                 lines.append(f"  {name}: n={value['count']} "
-                             f"mean={value['mean']:.1f}")
+                             f"mean={value['mean']:.1f} "
+                             f"p50={value['p50']:.1f} "
+                             f"p95={value['p95']:.1f} "
+                             f"p99={value['p99']:.1f}")
             elif isinstance(value, float):
                 lines.append(f"  {name}: {value:.3f}")
             else:

@@ -1,0 +1,65 @@
+"""Cross-run results index, statistics and the regression gate.
+
+The runner's append-only artifacts — the ``runs.jsonl`` journal and
+the ``BENCH_kernels.json`` kernel trajectory — record everything but
+answer nothing.  This package makes the history queryable and lets
+two runs be compared with statistical rigor:
+
+* :mod:`repro.results.index` — ``ResultsIndex``, a SQLite database
+  (``results_index.sqlite``; tables ``runs``, ``units``, ``metrics``,
+  ``bench``) with idempotent ingesters for both artifact kinds;
+* :mod:`repro.results.stats` — dependency-free sample statistics:
+  bootstrap confidence intervals, Welch's t, permutation and
+  Mann-Whitney significance tests sized for a handful of seeds;
+* :mod:`repro.results.compare` — per-(unit, metric) verdicts with
+  good-direction gating, the heart of
+  ``python -m repro.analysis compare``;
+* :mod:`repro.results.cli` — the ``index`` and ``compare``
+  subcommands.
+
+Schema, ingest rules and the compare workflow are documented in
+``docs/RESULTS.md``.
+"""
+
+from .compare import (
+    Comparison,
+    METRIC_DIRECTIONS,
+    MetricVerdict,
+    compare_runs,
+    metric_direction,
+    render_comparison,
+)
+from .index import DEFAULT_DB_PATH, NO_SEED, ResultsIndex, flatten_metrics
+from .stats import (
+    Significance,
+    bootstrap_ci,
+    mann_whitney,
+    mean,
+    min_achievable_p,
+    permutation_test,
+    significance,
+    stddev,
+    welch_t,
+)
+
+__all__ = [
+    "Comparison",
+    "DEFAULT_DB_PATH",
+    "METRIC_DIRECTIONS",
+    "MetricVerdict",
+    "NO_SEED",
+    "ResultsIndex",
+    "Significance",
+    "bootstrap_ci",
+    "compare_runs",
+    "flatten_metrics",
+    "mann_whitney",
+    "mean",
+    "metric_direction",
+    "min_achievable_p",
+    "permutation_test",
+    "render_comparison",
+    "significance",
+    "stddev",
+    "welch_t",
+]

@@ -325,9 +325,13 @@ class Runner:
     def _journal_start(self, unit: WorkUnit, key: Optional[str],
                        cached: bool) -> None:
         if self.journal is not None:
-            self.journal.event("unit_start", unit=unit.label,
-                               experiment=unit.experiment, key=key,
-                               cached=cached)
+            fields: Dict[str, Any] = dict(
+                unit=unit.label, experiment=unit.experiment, key=key,
+                cached=cached)
+            seed = unit.seed()
+            if seed is not None:
+                fields["seed"] = seed
+            self.journal.event("unit_start", **fields)
 
     def _finish(self, unit: WorkUnit, key: Optional[str], result: Any,
                 wall_s: float, cached: bool, ok: bool = True) -> None:
@@ -338,6 +342,9 @@ class Runner:
             fields: Dict[str, Any] = dict(
                 unit=unit.label, experiment=unit.experiment, key=key,
                 cached=cached, wall_s=wall_s, ok=ok)
+            seed = unit.seed()
+            if seed is not None:
+                fields["seed"] = seed
             if isinstance(result, dict) and isinstance(
                     result.get("stats"), dict):
                 fields["stats"] = result["stats"]

@@ -29,6 +29,14 @@ event           required fields (beyond ``event``, ``run_id``, ``ts``)
                 one kernel micro-benchmark digest per
                 ``python -m repro.analysis bench`` run
                 (docs/KERNELS.md)
+``index``       ``db`` (str), ``sources`` (list), ``inserted``
+                (int) — one results-index ingest
+                (``python -m repro.analysis index``, docs/RESULTS.md)
+``compare``     ``db`` (str), ``run_a`` (str), ``run_b`` (str),
+                ``metrics`` (int), ``regressions`` (int) — one
+                cross-run comparison
+                (``python -m repro.analysis compare``,
+                docs/RESULTS.md)
 ==============  =====================================================
 
 ``unit_end`` additionally carries ``stats`` (a ControllerStats summary
@@ -40,6 +48,14 @@ unit ran with the memory-model sanitizer attached (``--sanitize`` /
 ``ExperimentScale.sanitize``) it also carries ``sanitizer`` (a dict
 with the invariant ``violations`` count — see docs/LINTING.md), and
 ``run_start`` records ``sanitize: true`` for the whole run.
+
+Multi-seed runs (``--seeds N``, docs/RESULTS.md) add ``seeds`` and
+``base_seed`` (ints) to ``run_start`` and a ``seed`` (int) to every
+``unit_start``/``unit_end`` whose params carry one, so downstream
+tooling (the results index) can group a unit's samples across seeds.
+These optional payloads are *validated when present*: a malformed
+``stats``/``timeline``/``sanitizer`` dict is a schema problem, not a
+silently journaled (and later silently mis-ingested) blob.
 """
 
 from __future__ import annotations
@@ -68,9 +84,77 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
                 "cache_hits": (int,)},
     "bench": {"out": (str,), "lines": (int,), "algorithms": (list,),
               "best_speedup": (int, float), "match": (bool,)},
+    "index": {"db": (str,), "sources": (list,), "inserted": (int,)},
+    "compare": {"db": (str,), "run_a": (str,), "run_b": (str,),
+                "metrics": (int,), "regressions": (int,)},
 }
 
 _COMMON_FIELDS = {"event": (str,), "run_id": (str,), "ts": (int, float)}
+
+
+def _check_number_map(value: Any) -> Optional[str]:
+    """A dict of string keys to numbers/nulls (the ``stats`` digest)."""
+    if not isinstance(value, dict):
+        return f"is not an object ({type(value).__name__})"
+    for key, entry in value.items():
+        if not isinstance(key, str):
+            return f"key {key!r} is not a string"
+        if isinstance(entry, bool) or not isinstance(
+                entry, (int, float, type(None))):
+            return f"[{key!r}] is not a number or null"
+    return None
+
+
+def _check_timeline(value: Any) -> Optional[str]:
+    """A ``repro.obs.timeline_digest`` dict (docs/OBSERVABILITY.md)."""
+    if not isinstance(value, dict):
+        return f"is not an object ({type(value).__name__})"
+    for name in ("window", "extra_accesses"):
+        entry = value.get(name)
+        if isinstance(entry, bool) or not isinstance(entry, int):
+            return f"[{name!r}] missing or not an int"
+    if value["window"] <= 0:
+        return "['window'] must be positive"
+    by_source = value.get("by_source")
+    if not isinstance(by_source, dict):
+        return "['by_source'] missing or not an object"
+    for source, extra in by_source.items():
+        if not isinstance(source, str) or isinstance(extra, bool) \
+                or not isinstance(extra, int):
+            return f"['by_source'][{source!r}] is not an int"
+    peak = value.get("peak", None)
+    if peak is not None and not isinstance(peak, dict):
+        return "['peak'] is neither an object nor null"
+    return None
+
+
+def _check_sanitizer(value: Any) -> Optional[str]:
+    """The sanitizer digest: at least a ``violations`` count."""
+    if not isinstance(value, dict):
+        return f"is not an object ({type(value).__name__})"
+    violations = value.get("violations")
+    if isinstance(violations, bool) or not isinstance(violations, int):
+        return "['violations'] missing or not an int"
+    if violations < 0:
+        return "['violations'] is negative"
+    return None
+
+
+def _check_int(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or not isinstance(value, int):
+        return f"is not an int ({type(value).__name__})"
+    return None
+
+
+#: event type -> {optional field: shape checker}.  These fields may be
+#: absent; when present their payload must have the documented shape.
+_OPTIONAL_FIELDS: Dict[str, Dict[str, Any]] = {
+    "run_start": {"seeds": _check_int, "base_seed": _check_int},
+    "unit_start": {"seed": _check_int},
+    "unit_end": {"seed": _check_int, "stats": _check_number_map,
+                 "timeline": _check_timeline,
+                 "sanitizer": _check_sanitizer},
+}
 
 
 class RunJournal:
@@ -120,6 +204,12 @@ def validate_event(record: Any) -> List[str]:
         elif not isinstance(record[name], types):
             problems.append(f"{event}: field {name!r} has type "
                             f"{type(record[name]).__name__}")
+    for name, checker in _OPTIONAL_FIELDS.get(event, {}).items():
+        if name not in record:
+            continue
+        problem = checker(record[name])
+        if problem is not None:
+            problems.append(f"{event}: field {name!r} {problem}")
     return problems
 
 

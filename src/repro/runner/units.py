@@ -77,6 +77,23 @@ class WorkUnit:
     def key(self) -> str:
         return unit_key(self.fn.__name__, self.params)
 
+    def seed(self) -> Any:
+        """The unit's random seed, when its params carry one.
+
+        Looks for a literal ``seed`` param first, then for the ``seed``
+        field of a ``scale`` config dataclass (the experiment units'
+        convention).  Returns ``None`` for seedless units; the journal
+        then omits the ``seed`` field (docs/RESULTS.md).
+        """
+        value = self.params.get("seed")
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        scale = self.params.get("scale")
+        value = getattr(scale, "seed", None)
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        return None
+
     def run(self) -> Any:
         return self.fn(**dict(self.params))
 

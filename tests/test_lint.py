@@ -186,6 +186,45 @@ def test_emit_registered_rule(tmp_path):
     assert kept == []
 
 
+def test_journal_event_registered_rule(tmp_path):
+    bad = (
+        '"""doc."""\n'
+        "def f(journal):\n"
+        '    journal.event("not_a_real_event", jobs=1)\n'
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/runner/mod.py", bad,
+        ["journal-event-registered"])
+    assert [f.rule for f in kept] == ["journal-event-registered"]
+    assert "EVENT_SCHEMA" in kept[0].message
+
+    good = (
+        '"""doc."""\n'
+        "def f(journal):\n"
+        '    journal.event("run_start", jobs=1, cache_enabled=True)\n'
+        '    journal.event("compare", db="x", run_a="a", run_b="b",\n'
+        "                  metrics=3, regressions=0)\n"
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/runner/mod.py", good,
+        ["journal-event-registered"])
+    assert kept == []
+
+    # scripts/ are in scope too; dynamic (non-literal) names are not.
+    kept, _ = _lint_snippet(
+        tmp_path, "scripts/tool.py", bad, ["journal-event-registered"])
+    assert [f.rule for f in kept] == ["journal-event-registered"]
+    dynamic = (
+        '"""doc."""\n'
+        "def f(journal, name):\n"
+        "    journal.event(name, jobs=1)\n"
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/runner/mod.py", dynamic,
+        ["journal-event-registered"])
+    assert kept == []
+
+
 def test_hot_path_wallclock_rule(tmp_path):
     bad = (
         '"""doc."""\n'

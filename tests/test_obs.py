@@ -269,6 +269,66 @@ class TestMetricRegistry:
         with pytest.raises(ValueError):
             registry.register("x", lambda: 1)
 
+    def test_histogram_percentiles(self):
+        from repro.obs.metrics import Histogram
+        # Single-valued buckets (8-byte line-size steps): exact.
+        histogram = Histogram("h", (0, 8, 16, 24, 32))
+        for value, repeats in ((8, 50), (16, 45), (24, 4), (32, 1)):
+            for _ in range(repeats):
+                histogram.observe(value)
+        assert histogram.percentile(50) == 8
+        assert histogram.percentile(95) == 16
+        assert histogram.percentile(99) == 24
+        assert histogram.percentile(100) == 32
+        assert histogram.percentile(0) == 0    # lower edge of first bucket
+
+    def test_histogram_percentile_interpolates(self):
+        from repro.obs.metrics import Histogram
+        histogram = Histogram("h", (0, 100))
+        for _ in range(100):
+            histogram.observe(50)    # all in the (0, 100] bucket
+        # Interpolation places the median mid-bucket.
+        assert histogram.percentile(50) == pytest.approx(50.0)
+
+    def test_histogram_overflow_capped_at_maximum(self):
+        from repro.obs.metrics import Histogram
+        histogram = Histogram("h", (8,))
+        histogram.observe(4)
+        histogram.observe(500)
+        assert histogram.maximum == 500
+        assert histogram.percentile(99) == 500
+
+    def test_histogram_percentile_edge_cases(self):
+        from repro.obs.metrics import Histogram
+        histogram = Histogram("h", (8,))
+        assert histogram.percentile(50) == 0.0    # empty
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+
+    def test_histogram_as_dict_carries_percentiles(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("h", (8, 16))
+        for value in (4, 8, 12, 16, 99):
+            histogram.observe(value)
+        collected = registry.collect()["h"]
+        assert {"p50", "p95", "p99"} <= set(collected)
+        assert collected["p50"] == pytest.approx(histogram.percentile(50))
+
+    def test_summary_shows_percentiles(self):
+        from repro.core import CompressedMemoryController, compresso_config
+        from repro.memory import MemoryGeometry
+
+        tracer, _ = traced_run()
+        controller = CompressedMemoryController(
+            compresso_config(),
+            MemoryGeometry(installed_bytes=32 << 20))
+        controller.write_line(0, 0, bytes(range(64)))
+        registry = sample_controller(controller)
+        text = summary(tracer, registry=registry)
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
     def test_sample_controller(self):
         from repro.core import CompressedMemoryController, compresso_config
         from repro.memory import MemoryGeometry

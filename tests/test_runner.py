@@ -36,6 +36,11 @@ def _touch(counter_file, x):
     return {"row": {"x": x}, "stats": {"demand_accesses": x}}
 
 
+def _scaled(x, scale):
+    """Unit taking the conventional ``scale`` param (seed journaling)."""
+    return {"row": {"x": x, "seed": scale.seed}}
+
+
 def _unit(fn, params, label="u"):
     return WorkUnit(experiment="test", label=f"test/{label}", fn=fn,
                     params=params)
@@ -182,6 +187,108 @@ class TestJournal:
         missing = validate_event(
             {"event": "unit_end", "run_id": "r", "ts": 0.0})
         assert any("wall_s" in problem for problem in missing)
+
+
+#: One well-formed payload per EVENT_SCHEMA entry, optional fields
+#: included — emitted through a real journal and re-validated below.
+GOLDEN_EVENTS = {
+    "run_start": dict(jobs=2, cache_enabled=True, seeds=3, base_seed=42),
+    "unit_start": dict(unit="fig4/gcc", experiment="fig4", key="k",
+                       cached=False, seed=42),
+    "unit_retry": dict(unit="fig4/gcc", experiment="fig4", key="k",
+                       attempt=1, reason="crash", delay_s=0.5),
+    "unit_end": dict(unit="fig4/gcc", experiment="fig4", key="k",
+                     cached=False, wall_s=0.2, ok=True, seed=42,
+                     stats={"compression_ratio": 1.5,
+                            "extra_accesses": 9,
+                            "metadata_hit_rate": None},
+                     timeline={"window": 1000, "extra_accesses": 9,
+                               "by_source": {"split": 4, "overflow": 3,
+                                             "metadata": 2},
+                               "peak": None},
+                     sanitizer={"violations": 0}),
+    "run_end": dict(wall_s=1.5, units=4, cache_hits=1),
+    "bench": dict(out="BENCH_kernels.json", lines=4096,
+                  algorithms=["bdi"], best_speedup=14.0, match=True),
+    "index": dict(db="results_index.sqlite", sources=["runs.jsonl"],
+                  inserted=12),
+    "compare": dict(db="results_index.sqlite", run_a="a", run_b="b",
+                    metrics=6, regressions=0),
+}
+
+
+class TestJournalSchemaRoundTrip:
+    """Every EVENT_SCHEMA entry survives an emit -> read -> validate trip."""
+
+    @pytest.mark.parametrize("event", sorted(GOLDEN_EVENTS))
+    def test_emit_then_validate(self, tmp_path, event):
+        from repro.runner import EVENT_SCHEMA
+        assert set(GOLDEN_EVENTS) == set(EVENT_SCHEMA)
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        journal.event(event, **GOLDEN_EVENTS[event])
+        (record,) = read_journal(tmp_path / "runs.jsonl")
+        assert record["event"] == event
+        assert validate_event(record) == [], record
+
+    @pytest.mark.parametrize("field,payload,problem", [
+        ("stats", ["not", "a", "dict"], "not an object"),
+        ("stats", {"extra_accesses": "nine"}, "not a number"),
+        ("stats", {"ok": True}, "not a number"),
+        ("timeline", {"window": 0, "extra_accesses": 1,
+                      "by_source": {}}, "positive"),
+        ("timeline", {"window": 10, "extra_accesses": 1,
+                      "by_source": {"split": "four"}}, "not an int"),
+        ("timeline", {"window": 10, "extra_accesses": 1}, "by_source"),
+        ("timeline", {"window": 10, "extra_accesses": 1,
+                      "by_source": {}, "peak": 3}, "peak"),
+        ("sanitizer", {"violations": -1}, "negative"),
+        ("sanitizer", {}, "violations"),
+        ("sanitizer", 0, "not an object"),
+        ("seed", "42", "not an int"),
+        ("seed", True, "not an int"),
+    ])
+    def test_malformed_optional_payloads_rejected(self, field, payload,
+                                                  problem):
+        record = {"event": "unit_end", "run_id": "r", "ts": 0.0,
+                  "unit": "u", "experiment": "e", "key": None,
+                  "cached": False, "wall_s": 0.1, "ok": True,
+                  field: payload}
+        problems = validate_event(record)
+        assert any(field in p and problem in p for p in problems), problems
+
+    def test_optional_payloads_may_be_absent(self):
+        record = {"event": "unit_end", "run_id": "r", "ts": 0.0,
+                  "unit": "u", "experiment": "e", "key": None,
+                  "cached": False, "wall_s": 0.1, "ok": True}
+        assert validate_event(record) == []
+
+
+class TestUnitSeed:
+    def test_seed_from_params(self):
+        unit = _unit(_double, {"x": 1, "seed": 7})
+        assert unit.seed() == 7
+
+    def test_seed_from_scale(self):
+        unit = _unit(_double, {"x": 1, "scale": TINY})
+        assert unit.seed() == TINY.seed
+
+    def test_no_seed(self):
+        unit = _unit(_double, {"x": 1})
+        assert unit.seed() is None
+
+    def test_bool_is_not_a_seed(self):
+        unit = _unit(_double, {"x": 1, "seed": True})
+        assert unit.seed() is None
+
+    def test_runner_journals_seed(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        seeded = replace(TINY, seed=1234)
+        units = [_unit(_scaled, {"x": 1, "scale": seeded})]
+        Runner(journal=journal).map(units)
+        events = read_journal(tmp_path / "runs.jsonl")
+        for event in events:
+            assert event["seed"] == 1234
+            assert validate_event(event) == []
 
 
 class TestTimingTable:
