@@ -21,6 +21,7 @@ from .experiments import (
     run_fig10,
     run_fig11,
     run_fig12,
+    run_pressure,
     run_sec7_energy_area,
     run_tab2,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_fig12",
+    "run_pressure",
     "run_sec7_energy_area",
     "run_tab2",
 ]

@@ -85,6 +85,7 @@ from . import (
     run_fig10,
     run_fig11,
     run_fig12,
+    run_pressure,
     run_sec7_energy_area,
     run_tab2,
 )
@@ -103,6 +104,7 @@ RUNNERS = {
     "ablation": run_ablation_design_space,
     "sec7": run_sec7_energy_area,
     "faults": run_faults,
+    "pressure": run_pressure,
 }
 
 #: ``--sanitize`` argument -> ExperimentScale.sanitize value.
@@ -396,6 +398,95 @@ def _legacy_command(argv) -> int:
     return 0
 
 
+def _pressure_command(argv) -> int:
+    """Run the overload campaign directly and assert its headline claims."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis pressure",
+        description="Multi-tenant overload campaign: admission control, "
+                    "degradation ladder, recovery drills "
+                    "(docs/PRESSURE.md).",
+    )
+    parser.add_argument("--spec", action="append", default=[],
+                        metavar="SPEC",
+                        help="campaign cell spec scenario:intensity"
+                             "[:tenants] (repeatable; default: the full "
+                             "scenario x intensity sweep)")
+    parser.add_argument("--allocation", choices=("chunks", "variable",
+                                                 "both"),
+                        default="both",
+                        help="allocation scheme(s) to sweep "
+                             "(default: both)")
+    parser.add_argument("--steps", type=int, default=160, metavar="N",
+                        help="driver steps per cell (default: 160)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero unless every resilience claim "
+                             "holds (zero escaped OOM, zero unreconciled, "
+                             "every cell recovered)")
+    args = parser.parse_args(argv)
+    if args.steps < 2:
+        parser.error("--steps must be at least 2")
+
+    from ..pressure import (PressureCampaign, parse_pressure_spec,
+                            pressure_cell)
+    allocations = (("chunks", "variable") if args.allocation == "both"
+                   else (args.allocation,))
+    started = time.time()
+    if args.spec:
+        cells = []
+        for spec in args.spec:
+            try:
+                scenario, intensity, tenants = parse_pressure_spec(spec)
+            except ValueError as exc:
+                parser.error(str(exc))
+            for allocation in allocations:
+                cells.append(pressure_cell(
+                    scenario, intensity, allocation=allocation,
+                    seed=args.seed, n_tenants=tenants,
+                    n_steps=args.steps))
+        oom_escaped = sum(cell.oom_escaped for cell in cells)
+        unreconciled = sum(len(cell.unreconciled) for cell in cells)
+        all_recovered = all(cell.recovered for cell in cells)
+    else:
+        campaign = PressureCampaign(allocations=allocations,
+                                    seed=args.seed, n_steps=args.steps)
+        cells = campaign.run()
+        oom_escaped = campaign.oom_escaped
+        unreconciled = campaign.unreconciled
+        all_recovered = campaign.all_recovered
+
+    from .report import ExperimentResult
+    result = ExperimentResult(
+        experiment_id="pressure",
+        title="Pressure campaign: multi-tenant overload control and "
+              "recovery",
+        columns=["scenario", "intensity", "allocation", "requests",
+                 "throttled", "shed", "denied", "oom_absorbed",
+                 "page_outs", "escalations", "degraded_enters",
+                 "degraded_exits", "oom_escaped", "recovered",
+                 "unreconciled", "jain_fairness", "stall_p95",
+                 "stall_p99"],
+    )
+    for cell in cells:
+        row = cell.as_row()
+        row.pop("admitted", None)
+        result.add_row(**row)
+    print(render(result))
+    for cell in cells:
+        for problem in cell.unreconciled:
+            print(f"UNRECONCILED {cell.scenario}@{cell.intensity}/"
+                  f"{cell.allocation}: {problem}")
+    print(f"cells: {len(cells)}  oom_escaped: {oom_escaped}  "
+          f"unreconciled: {unreconciled}  "
+          f"all_recovered: {all_recovered}  "
+          f"[{time.time() - started:.1f}s]")
+    ok = oom_escaped == 0 and unreconciled == 0 and all_recovered
+    if args.strict and not ok:
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "run":
@@ -407,6 +498,8 @@ def main(argv=None) -> int:
     if argv and argv[0] == "bench":
         from .bench import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "pressure":
+        return _pressure_command(argv[1:])
     if argv and argv[0] == "index":
         from ..results.cli import index_main
         return index_main(argv[1:])

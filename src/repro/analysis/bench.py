@@ -172,13 +172,31 @@ def find_regressions(old: Dict[str, object],
     previous document (human-readable, empty = no regression)."""
     regressions: List[str] = []
     old_algorithms = old.get("algorithms") or {}
+
+    def usable(value) -> bool:
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool) and value > 0)
+
     for alg, entry in (new.get("algorithms") or {}).items():
         previous = old_algorithms.get(alg)
         if not isinstance(previous, dict):
+            # Algorithm absent from the baseline: nothing to gate
+            # against (a newly added kernel, not a regression).
             continue
         before = previous.get("vector_lines_per_s")
         after = entry.get("vector_lines_per_s")
-        if not before or not after:
+        if not usable(before):
+            # A zero/absent baseline would make every future run pass
+            # (or divide by zero) — that is a broken gate, not a pass.
+            regressions.append(
+                f"{alg}: recorded baseline vector_lines_per_s is "
+                f"{before!r} (unusable); re-record the baseline with "
+                f"'bench --save' instead of gating against it")
+            continue
+        if not usable(after):
+            regressions.append(
+                f"{alg}: current vector_lines_per_s is {after!r} "
+                f"(unusable); benchmark did not produce a throughput")
             continue
         if after < before * (1.0 - tolerance):
             regressions.append(

@@ -904,6 +904,81 @@ def run_faults(scale: ExperimentScale = DEFAULT,
 
 
 # ---------------------------------------------------------------------------
+# Pressure campaign — overload control and recovery (docs/PRESSURE.md)
+# ---------------------------------------------------------------------------
+
+#: Overload scenarios x intensities swept by ``run_pressure``.
+PRESSURE_SCENARIOS = ("collapse", "stampede", "diurnal")
+PRESSURE_INTENSITIES = (0.5, 1.0, 2.0)
+PRESSURE_ALLOCATIONS = ("chunks", "variable")
+
+
+def _unit_pressure_cell(scenario: str, intensity: float, allocation: str,
+                        scale: ExperimentScale) -> dict:
+    """Pressure-campaign cell: one overload scenario, reconciled.
+
+    The journaled ``stats`` digest carries the fairness and stall
+    metrics (Jain's index, p95/p99 stall cycles) so the results index
+    (docs/RESULTS.md) picks them up without any schema change.
+    """
+    from ..pressure import pressure_cell
+    cell = pressure_cell(scenario, intensity, allocation=allocation,
+                         seed=scale.seed,
+                         n_steps=max(60, min(240, scale.n_events // 15)))
+    stats = dict(cell.metrics)
+    stats["oom_escaped"] = cell.oom_escaped
+    stats["recovered"] = int(cell.recovered)
+    stats["unreconciled"] = len(cell.unreconciled)
+    stats["degraded_enters"] = cell.degraded_enters
+    stats["degraded_exits"] = cell.degraded_exits
+    return {"row": cell.as_row(), "stats": stats}
+
+
+def run_pressure(scale: ExperimentScale = DEFAULT,
+                 runner: Optional[Runner] = None) -> ExperimentResult:
+    """Pressure campaign: overload control, fairness, recovery drills.
+
+    Sweeps every (scenario, intensity, allocation) cell of the
+    multi-tenant overload campaign (docs/PRESSURE.md).  The headline
+    resilience claims: ``oom_escaped == 0`` and ``unreconciled == 0``
+    everywhere, and every cell that entered degraded mode exits it
+    once pressure recedes (``all_recovered``).
+    """
+    result = ExperimentResult(
+        experiment_id="pressure",
+        title="Pressure campaign: multi-tenant overload control and recovery",
+        columns=["scenario", "intensity", "allocation", "requests",
+                 "throttled", "shed", "denied", "oom_absorbed", "page_outs",
+                 "escalations", "degraded_enters", "degraded_exits",
+                 "oom_escaped", "recovered", "unreconciled",
+                 "jain_fairness", "stall_p95", "stall_p99"],
+        notes=["Not a paper artifact: overload-resilience validation of "
+               "this model (docs/PRESSURE.md)."],
+    )
+    outputs = _run_units(
+        runner, "pressure", _unit_pressure_cell,
+        [(f"{scenario}@{intensity}/{allocation}",
+          {"scenario": scenario, "intensity": intensity,
+           "allocation": allocation, "scale": scale})
+         for scenario in PRESSURE_SCENARIOS
+         for intensity in PRESSURE_INTENSITIES
+         for allocation in PRESSURE_ALLOCATIONS])
+    for output in outputs:
+        row = dict(output["row"])
+        row.pop("admitted", None)
+        result.add_row(**row)
+    result.summary["oom_escaped"] = sum(
+        row["oom_escaped"] for row in result.rows)
+    result.summary["unreconciled"] = sum(
+        row["unreconciled"] for row in result.rows)
+    result.summary["all_recovered"] = int(all(
+        row["recovered"] for row in result.rows))
+    result.summary["min_jain_fairness"] = min(
+        row["jain_fairness"] for row in result.rows)
+    return result
+
+
+# ---------------------------------------------------------------------------
 # §VII-C/D/E — energy and area overheads, offset-calculation circuit
 # ---------------------------------------------------------------------------
 

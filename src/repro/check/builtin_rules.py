@@ -25,7 +25,7 @@ HOT_PATH_DIRS = ("src/repro/core", "src/repro/memory", "src/repro/compression")
 #: Markdown files whose relative links must resolve.
 DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
         "docs/OBSERVABILITY.md", "docs/LINTING.md", "docs/ROBUSTNESS.md",
-        "docs/KERNELS.md", "docs/RESULTS.md")
+        "docs/KERNELS.md", "docs/RESULTS.md", "docs/PRESSURE.md")
 
 #: (module path, class name) pairs whose public fields must be named in
 #: the documentation set scanned by ``config-knob-documented``.
@@ -33,6 +33,7 @@ CONFIG_CLASSES = (
     ("src/repro/core/config.py", "CompressoConfig"),
     ("src/repro/simulation/simulator.py", "SimulationConfig"),
     ("src/repro/analysis/experiments.py", "ExperimentScale"),
+    ("src/repro/pressure/controller.py", "PressureConfig"),
 )
 
 #: How many lines around a stats increment may hold its tracer call
@@ -327,6 +328,63 @@ class RecoveryTracedRule(Rule):
                     node.lineno, self.id, self.severity,
                     f"{node.name}() looks like a recovery path but "
                     f"never emits a trace event (docs/ROBUSTNESS.md)")
+
+
+@register
+class DegradedTransitionTracedRule(Rule):
+    """Pressure/degraded state mutations are traced (docs/PRESSURE.md).
+
+    The pressure campaign reconciles every shed/deny/recovery counter
+    against the trace with zero silent drops; an untraced assignment
+    to the degraded/backpressure state machine would break that
+    ledger invisibly.  Any function in ``core/`` or ``pressure/``
+    that assigns ``<obj>.degraded_mode``, ``<obj>.degraded_since`` or
+    ``<obj>.in_pressure`` must contain an ``.emit(`` call.
+    ``__init__`` is exempt: initialising the state machine to its
+    resting value is not a transition.
+    """
+
+    id = "degraded-transition-traced"
+    severity = "error"
+    description = ("functions mutating degraded/backpressure state "
+                   "must emit a trace event")
+
+    _STATE_ATTRS = ("degraded_mode", "degraded_since", "in_pressure")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_dirs("src/repro/core", "src/repro/pressure")
+
+    def _mutates_state(self, node: ast.FunctionDef) -> bool:
+        for inner in ast.walk(node):
+            if not isinstance(inner, (ast.Assign, ast.AugAssign,
+                                      ast.AnnAssign)):
+                continue
+            targets = (inner.targets if isinstance(inner, ast.Assign)
+                       else [inner.target])
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in self._STATE_ATTRS):
+                    return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name == "__init__":
+                continue
+            if not self._mutates_state(node):
+                continue
+            emits = any(
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "emit"
+                for inner in ast.walk(node))
+            if not emits:
+                yield module.finding(
+                    node.lineno, self.id, self.severity,
+                    f"{node.name}() mutates degraded/backpressure state "
+                    f"without emitting a trace event (docs/PRESSURE.md)")
 
 
 @register

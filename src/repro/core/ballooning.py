@@ -16,7 +16,7 @@ behaviour it relies on: the OS hands over free pages first, then cold
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional, Set
 
 from ..memory.allocator import OutOfMemoryError
 from ..obs.tracer import NULL_TRACER
@@ -28,6 +28,7 @@ class BalloonStats:
     pages_reclaimed: int = 0
     pages_paged_out: int = 0       # cold pages the guest had to swap out
     deflations: int = 0
+    pages_protected: int = 0       # reclaim candidates skipped as protected
 
 
 class BalloonDriver:
@@ -49,6 +50,12 @@ class BalloonDriver:
         self.safety_chunks = safety_chunks
         self.stats = BalloonStats()
         self._held_pages: List[int] = []
+        #: OSPA pages the balloon must not invalidate (repro.pressure
+        #: shields high-priority tenants' resident sets this way,
+        #: docs/PRESSURE.md).  A protected page taken from the OS is
+        #: still held, like the in-flight ``_active_page``, but its
+        #: hardware state is left untouched.
+        self._protected: Set[int] = set()
         controller.balloon = self
 
     @property
@@ -99,6 +106,21 @@ class BalloonDriver:
     def held_pages(self) -> int:
         return len(self._held_pages)
 
+    def protect(self, pages: Iterable[int]) -> None:
+        """Shield OSPA pages from reclaim (per-tenant priority)."""
+        self._protected.update(pages)
+
+    def unprotect(self, pages: Optional[Iterable[int]] = None) -> None:
+        """Lift protection (all pages when ``pages`` is None)."""
+        if pages is None:
+            self._protected.clear()
+        else:
+            self._protected.difference_update(pages)
+
+    @property
+    def protected_pages(self) -> int:
+        return len(self._protected)
+
     def _reclaim(self, page: int) -> int:
         """Invalidate one OSPA page in hardware; returns chunks freed."""
         self._held_pages.append(page)
@@ -106,6 +128,10 @@ class BalloonDriver:
             # The controller is mid-operation on this very page (the
             # balloon fired from inside its allocator); hold the page
             # for the OS but leave the hardware state untouched.
+            return 0
+        if page in self._protected:
+            self.stats.pages_protected += 1
+            self._tracer.emit("balloon_protect_skip", page=page)
             return 0
         state = self.controller.pages.get(page)
         chunks = state.meta.size_chunks if state is not None else 0

@@ -165,6 +165,11 @@ class CompressedMemoryController:
         #: (pages park unbacked, shadow data intact) instead of the
         #: controller raising; frees restore headroom and exit it.
         self.degraded_mode = False
+        #: Tracer clock at the last ``degraded_enter`` (None outside
+        #: degraded mode).  The pressure watchdog (repro.pressure,
+        #: docs/PRESSURE.md) bounds the dwell time ``clock -
+        #: degraded_since`` and escalates when it is exceeded.
+        self.degraded_since: Optional[int] = None
         self._in_emergency_repack = False
 
     # ------------------------------------------------------------------
@@ -740,6 +745,7 @@ class CompressedMemoryController:
         if self.degraded_mode:
             return
         self.degraded_mode = True
+        self.degraded_since = self.tracer.clock
         self.stats.alloc_exhaustions += 1
         self.tracer.emit("degraded_enter", chunks_needed=chunks_needed)
 
@@ -750,6 +756,7 @@ class CompressedMemoryController:
         if not self._can_allocate(self.config.max_chunks_per_page):
             return
         self.degraded_mode = False
+        self.degraded_since = None
         self.stats.degraded_exits += 1
         self.tracer.emit("degraded_exit")
 

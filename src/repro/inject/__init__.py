@@ -6,7 +6,13 @@ faults against the detection (``fault_*``) and recovery
 (``recovery_*``) trace events.
 """
 
-from .campaign import CellOutcome, FaultCampaign, campaign_cell, reconcile
+from .campaign import (
+    CellOutcome,
+    FaultCampaign,
+    campaign_cell,
+    matches,
+    reconcile,
+)
 from .faults import (
     SITES,
     FaultInjector,
@@ -24,5 +30,6 @@ __all__ = [
     "CellOutcome",
     "FaultCampaign",
     "campaign_cell",
+    "matches",
     "reconcile",
 ]

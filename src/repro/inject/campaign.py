@@ -77,9 +77,14 @@ class CellOutcome:
                 "silent": self.silent}
 
 
-def _matches(events, names: Tuple[str, ...], page: Optional[int],
-             clock: int, invariant: Optional[str] = None) -> bool:
-    """Is there an event in ``names`` for this fault at/after ``clock``?"""
+def matches(events, names: Tuple[str, ...], page: Optional[int] = None,
+            clock: int = 0, invariant: Optional[str] = None) -> bool:
+    """Is there an event in ``names`` for this fault at/after ``clock``?
+
+    Shared by the fault campaign and the pressure campaign
+    (repro.pressure, docs/PRESSURE.md): both reconcile per-record
+    outcomes against the trace by (name set, page, clock) filters.
+    """
     for event in events:
         if event.name not in names or event.clock < clock:
             continue
@@ -106,9 +111,9 @@ def reconcile(records: Sequence[FaultRecord], events) -> CellOutcome:
         # name instead so a page-scoped detection cannot stand in.
         invariant = "alloc-books" if record.site == "double-grant" else None
         page = record.page if record.site in _CORRUPTION_SITES else None
-        detected = _matches(events, _DETECT[record.site], page,
-                            record.clock, invariant)
-        recovered = detected and _matches(
+        detected = matches(events, _DETECT[record.site], page,
+                           record.clock, invariant)
+        recovered = detected and matches(
             events, _RECOVER[record.site], page, record.clock)
         if detected:
             outcome.detected += 1

@@ -87,6 +87,16 @@ EVENT_SOURCES: Dict[str, Optional[str]] = {
     "degraded_enter": None,            # pool exhausted: deny-new-compression
     "degraded_exit": None,             # headroom restored after frees
     "emergency_repack": None,          # repack sweep under allocation pressure
+    # memory-pressure overload control (repro.pressure, docs/PRESSURE.md)
+    "pressure_enter": None,            # backpressure engaged (utilization high)
+    "pressure_exit": None,             # backpressure released
+    "admission_throttled": None,       # token bucket empty: request stalled
+    "request_shed": None,              # low-priority request dropped
+    "tenant_over_budget": None,        # tenant exceeded its resident budget
+    "tenant_page_out": None,           # per-tenant LRU page-out (escalation)
+    "watchdog_escalation": None,       # degraded-mode dwell bound exceeded
+    "pressure_oom_absorbed": None,     # OutOfMemoryError caught at this layer
+    "balloon_protect_skip": None,      # balloon held a protected page intact
 }
 
 

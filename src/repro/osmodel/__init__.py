@@ -1,6 +1,6 @@
 """OS substrate: virtual memory, budgets, LRU paging (DESIGN.md)."""
 
-from .cgroups import DynamicBudget, StaticBudget
+from .cgroups import DynamicBudget, ScaledBudget, StaticBudget
 from .paging import (
     LRUPagingSimulator,
     PagingCostModel,
@@ -15,6 +15,7 @@ __all__ = [
     "LRUPagingSimulator",
     "PagingCostModel",
     "PagingStats",
+    "ScaledBudget",
     "StaticBudget",
     "VMStats",
     "VirtualMemory",

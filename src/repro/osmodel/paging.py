@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -85,6 +85,29 @@ class LRUPagingSimulator:
     @property
     def resident_pages(self) -> int:
         return len(self._resident)
+
+    def evict_coldest(self, n: int) -> List[int]:
+        """Force out the ``n`` least-recently-touched pages.
+
+        The overload-control escalation path (repro.pressure,
+        docs/PRESSURE.md) pages out an over-budget tenant's coldest
+        pages explicitly rather than waiting for the budget to squeeze
+        them; returns the evicted page numbers (may be fewer than
+        ``n`` when the resident set is smaller).
+        """
+        evicted: List[int] = []
+        while self._resident and len(evicted) < n:
+            page, _ = self._resident.popitem(last=False)
+            self.stats.evictions += 1
+            evicted.append(page)
+        return evicted
+
+    def drop(self, page: int) -> bool:
+        """Remove one page from the resident set (tenant freed it)."""
+        if page in self._resident:
+            del self._resident[page]
+            return True
+        return False
 
 
 def reference_string(profile: BenchmarkProfile, n_touches: int,

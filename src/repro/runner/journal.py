@@ -244,6 +244,11 @@ def find_interrupted(path: str | Path) -> Dict[str, List[Any]]:
     an open ``unit_start`` means the process died (or was killed)
     while that unit was in flight; rerunning the sweep with the cache
     enabled recomputes exactly those cells (docs/ROBUSTNESS.md).
+
+    Units are keyed by ``(run_id, unit, key, seed)``: multi-seed
+    sweeps (``run --seeds N``) run the same unit label once per seed,
+    and a ``unit_end`` for seed 0 must not close seed 1's in-flight
+    start — only the exact (unit, seed) pair that finished.
     """
     open_units: Dict[tuple, Dict[str, Any]] = {}
     seen_runs: List[str] = []
@@ -256,11 +261,13 @@ def find_interrupted(path: str | Path) -> Dict[str, List[Any]]:
         elif event == "run_end":
             ended_runs.add(run_id)
         elif event == "unit_start":
-            marker = (run_id, record.get("unit"), record.get("key"))
+            marker = (run_id, record.get("unit"), record.get("key"),
+                      record.get("seed"))
             open_units[marker] = record
         elif event == "unit_end":
             open_units.pop(
-                (run_id, record.get("unit"), record.get("key")), None)
+                (run_id, record.get("unit"), record.get("key"),
+                 record.get("seed")), None)
     return {
         "runs": [run for run in seen_runs if run not in ended_runs],
         "units": list(open_units.values()),

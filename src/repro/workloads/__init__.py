@@ -1,5 +1,6 @@
 """Synthetic workloads substituting the paper's benchmarks (DESIGN.md)."""
 
+from .bursts import BURST_SHAPES, BurstSchedule
 from .datagen import (
     LINE_SIZE,
     LINES_PER_PAGE,
@@ -21,7 +22,9 @@ from .tracegen import TraceEvent, TraceGenerator, Workload
 
 __all__ = [
     "BENCHMARK_ORDER",
+    "BURST_SHAPES",
     "BenchmarkProfile",
+    "BurstSchedule",
     "CAPACITY_STALLERS",
     "LINES_PER_PAGE",
     "LINE_SIZE",

@@ -67,6 +67,30 @@ def test_find_regressions():
     assert find_regressions(slower, doc) == []   # speedups never trip it
 
 
+def test_find_regressions_flags_unusable_baseline():
+    """A zero or absent baseline throughput is a broken gate, not a
+    pass: the gate must say so instead of waving every run through."""
+    doc = _tiny_doc()
+    zeroed = json.loads(json.dumps(doc))
+    zeroed["algorithms"]["zero"]["vector_lines_per_s"] = 0.0
+    problems = find_regressions(zeroed, doc)
+    assert len(problems) == 1
+    assert "baseline" in problems[0] and "unusable" in problems[0]
+
+    absent = json.loads(json.dumps(doc))
+    del absent["algorithms"]["zero"]["vector_lines_per_s"]
+    problems = find_regressions(absent, doc)
+    assert problems and "re-record the baseline" in problems[0]
+
+
+def test_find_regressions_flags_unusable_current_measurement():
+    doc = _tiny_doc()
+    broken = json.loads(json.dumps(doc))
+    broken["algorithms"]["zero"]["vector_lines_per_s"] = None
+    problems = find_regressions(doc, broken)
+    assert problems and "did not produce a throughput" in problems[0]
+
+
 def test_render_table_mentions_algorithms():
     text = render_table(_tiny_doc())
     assert "zero" in text and "speedup" in text

@@ -121,3 +121,31 @@ def test_metadata_encode_decode_all_states(ops):
         assert decoded.size_chunks == state.meta.size_chunks
         assert decoded.line_bins == state.meta.line_bins
         assert decoded.inflated_lines == state.meta.inflated_lines
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(salt=st.integers(min_value=0, max_value=2 ** 16),
+       survivors=st.integers(min_value=0, max_value=3))
+def test_degraded_mode_always_exits_once_headroom_returns(salt, survivors):
+    """Degraded mode is never sticky: however the node was exhausted,
+    freeing the transient pages restores normal mode with balanced
+    allocator books and a clean scrub (docs/PRESSURE.md)."""
+    geometry = MemoryGeometry(installed_bytes=1 << 20, advertised_ratio=4.0)
+    controller = CompressedMemoryController(compresso_config(), geometry)
+    page = 0
+    while controller.stats.alloc_denials == 0:
+        assert page < controller.geometry.ospa_pages, "never exhausted"
+        for line in range(64):
+            controller.write_line(page, line,
+                                  line_for(3, salt + page * 64 + line))
+        page += 1
+    assert controller.degraded_mode
+    for victim in range(survivors, page):
+        controller.free_page(victim)
+    assert not controller.degraded_mode
+    assert controller.stats.degraded_exits >= 1
+    assert controller.scrub() == 0
+    allocator = controller.memory.allocator
+    assert (allocator.used_chunks + allocator.free_chunks
+            == allocator.total_chunks)

@@ -374,6 +374,46 @@ def test_recovery_traced_rule(tmp_path):
     assert kept == []
 
 
+def test_degraded_transition_traced_rule(tmp_path):
+    rule = ["degraded-transition-traced"]
+    bad = (
+        '"""doc."""\n'
+        "def _enter(self):\n"
+        "    self.degraded_mode = True\n"
+    )
+    for relpath in ("src/repro/core/mod.py", "src/repro/pressure/mod.py"):
+        kept, _ = _lint_snippet(tmp_path, relpath, bad, rule)
+        assert [f.rule for f in kept] == rule, relpath
+        assert kept[0].line == 2
+
+    good = (
+        '"""doc."""\n'
+        "def _enter(self):\n"
+        "    self.in_pressure = True\n"
+        '    self.tracer.emit("pressure_enter", extra=0)\n'
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/pressure/mod.py", good, rule)
+    assert kept == []
+
+    # __init__ establishes the initial state; that is not a transition.
+    init = (
+        '"""doc."""\n'
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self.in_pressure = False\n"
+        "        self.degraded_since = None\n"
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/pressure/mod.py", init, rule)
+    assert kept == []
+
+    # scoped to core/ and pressure/: workloads may reuse the names
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/workloads/mod.py", bad, rule)
+    assert kept == []
+
+
 # ---------------------------------------------------------------------------
 # project rules
 # ---------------------------------------------------------------------------

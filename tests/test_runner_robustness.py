@@ -212,6 +212,24 @@ class TestCrashSafeJournal:
         assert interrupted["runs"] == [journal.run_id]
         assert [u["unit"] for u in interrupted["units"]] == ["b"]
 
+    def test_find_interrupted_keys_units_by_seed(self, tmp_path):
+        """A unit_end for seed 0 must not close seed 1's open start:
+        multi-seed sweeps run the same unit label once per seed."""
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        journal.event("run_start", jobs=1, cache_enabled=True)
+        journal.event("unit_start", unit="a", experiment="e",
+                      key="k1", seed=0, cached=False)
+        journal.event("unit_start", unit="a", experiment="e",
+                      key="k1", seed=1, cached=False)
+        journal.event("unit_end", unit="a", experiment="e", key="k1",
+                      seed=0, cached=False, wall_s=0.1, ok=True)
+        interrupted = find_interrupted(journal.path)
+        assert [(u["unit"], u["seed"])
+                for u in interrupted["units"]] == [("a", 1)]
+        journal.event("unit_end", unit="a", experiment="e", key="k1",
+                      seed=1, cached=False, wall_s=0.1, ok=True)
+        assert find_interrupted(journal.path)["units"] == []
+
     def test_completed_run_reports_nothing(self, tmp_path):
         journal = RunJournal(tmp_path / "runs.jsonl")
         journal.event("run_start", jobs=1, cache_enabled=True)
