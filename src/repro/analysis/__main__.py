@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
 from pathlib import Path
@@ -232,6 +233,7 @@ def _run_command(argv) -> int:
         scale = dataclasses.replace(scale, faults=args.inject)
     started = time.time()
     if journal is not None:
+        # reprolint: disable=determinism-taint -- wall-clock duration is journaled as provenance, never as a result
         journal.event("run_start", jobs=runner.jobs,
                       cache_enabled=cache is not None,
                       experiments=names, scale=args.scale,
@@ -345,17 +347,29 @@ def _lint_command(argv) -> int:
                         help="run only these rule ids (default: all)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the whole-program flow rules "
+                             "(docs/FLOWCHECK.md)")
+    parser.add_argument("--sarif", default=None, metavar="PATH",
+                        help="write findings as SARIF-lite JSON to PATH")
+    parser.add_argument("--dump-callgraph", default=None, metavar="PATH",
+                        nargs="?", const="callgraph.json",
+                        help="with --deep: dump the resolved call graph "
+                             "as JSON (default: callgraph.json)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="with --deep: grandfather every current "
+                             "flow finding into .reprolint-baseline.json")
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files to lint (default: src/repro + scripts)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
 
-    from ..check import all_rules, run_lint
+    from ..check import all_rules, run_lint, to_sarif
 
     if args.list_rules:
         for rule in all_rules():
-            scope = "project" if rule.scope == "project" else "file"
+            scope = rule.scope
             print(f"{rule.id:24s} {rule.severity:8s} {scope:8s} "
                   f"{rule.description}")
         return 0
@@ -365,7 +379,28 @@ def _lint_command(argv) -> int:
         rules = [rule_id.strip() for rule_id in args.rules.split(",")
                  if rule_id.strip()]
     files = [Path(p) for p in args.paths] or None
-    report = run_lint(files=files, rules=rules, jobs=args.jobs)
+    deep = args.deep or args.write_baseline
+    dump = Path(args.dump_callgraph) if args.dump_callgraph else None
+
+    if args.write_baseline:
+        from ..check import write_baseline
+        from ..check.driver import repo_root
+        from ..check.flow import flow_rule_ids
+        report = run_lint(files=files, rules=rules, jobs=args.jobs,
+                          deep=True, use_baseline=False)
+        flow_ids = set(flow_rule_ids())
+        grandfathered = [f for f in report.findings
+                         if f.rule in flow_ids and f.severity == "error"]
+        path = repo_root() / ".reprolint-baseline.json"
+        write_baseline(path, grandfathered)
+        print(f"baseline: {len(grandfathered)} finding(s) -> {path}")
+        return 0
+
+    report = run_lint(files=files, rules=rules, jobs=args.jobs,
+                      deep=deep, dump_callgraph=dump)
+    if args.sarif:
+        Path(args.sarif).write_text(
+            json.dumps(to_sarif(report.findings), indent=2) + "\n")
     print(report.render())
     return report.exit_code
 
@@ -398,6 +433,7 @@ def _legacy_command(argv) -> int:
     return 0
 
 
+# reprolint: disable=determinism-taint -- elapsed wall-clock is printed to the console only; campaign stats run on the simulated clock
 def _pressure_command(argv) -> int:
     """Run the overload campaign directly and assert its headline claims."""
     parser = argparse.ArgumentParser(

@@ -20,12 +20,14 @@ from .rules import ModuleSource, ProjectRule, Rule, dotted_name, register
 #: Directories whose modules form the simulated hot path: wall-clock
 #: reads or unseeded randomness here would break run reproducibility
 #: and content-addressed result caching.
-HOT_PATH_DIRS = ("src/repro/core", "src/repro/memory", "src/repro/compression")
+HOT_PATH_DIRS = ("src/repro/core", "src/repro/memory", "src/repro/compression",
+                 "src/repro/compression/vector", "src/repro/pressure")
 
 #: Markdown files whose relative links must resolve.
 DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
         "docs/OBSERVABILITY.md", "docs/LINTING.md", "docs/ROBUSTNESS.md",
-        "docs/KERNELS.md", "docs/RESULTS.md", "docs/PRESSURE.md")
+        "docs/KERNELS.md", "docs/RESULTS.md", "docs/PRESSURE.md",
+        "docs/FLOWCHECK.md")
 
 #: (module path, class name) pairs whose public fields must be named in
 #: the documentation set scanned by ``config-knob-documented``.
@@ -182,10 +184,17 @@ class HotPathWallClockRule(Rule):
     id = "hot-path-wallclock"
     severity = "error"
     description = ("no time.*/random.* calls inside core/, memory/, "
-                   "compression/ hot paths")
+                   "compression/ (incl. vector/), pressure/ hot paths")
 
     #: Call-name prefixes that read the wall clock or global RNG state.
     BANNED = ("time.", "random.", "np.random.", "numpy.random.", "datetime.")
+
+    #: Explicitly-seeded RNG constructors are the *fix* for global RNG
+    #: use, so ``np.random.RandomState(stable_seed(...))`` must pass;
+    #: a zero-argument construction seeds from OS entropy and stays
+    #: banned.
+    SEEDED_CONSTRUCTORS = ("Random", "RandomState", "default_rng",
+                           "Generator", "SeedSequence")
 
     def applies_to(self, module: ModuleSource) -> bool:
         return module.in_dirs(*HOT_PATH_DIRS)
@@ -196,6 +205,10 @@ class HotPathWallClockRule(Rule):
                 continue
             name = dotted_name(node.func)
             if name is None:
+                continue
+            if (name.split(".")[-1] in self.SEEDED_CONSTRUCTORS
+                    and (node.args or any(kw.arg == "seed"
+                                          for kw in node.keywords))):
                 continue
             if any(name == prefix[:-1] or name.startswith(prefix)
                    for prefix in self.BANNED):

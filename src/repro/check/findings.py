@@ -35,3 +35,39 @@ def format_finding(finding: Finding) -> str:
     """Render one finding the way compilers do: ``path:line: message``."""
     location = f"{finding.path}:{finding.line}" if finding.line else finding.path
     return f"{location}: [{finding.rule}] {finding.severity}: {finding.message}"
+
+
+def to_sarif(findings) -> dict:
+    """SARIF-lite: the subset of SARIF 2.1.0 CI viewers consume.
+
+    One run, one result per finding, rule ids as ruleId, severity
+    mapped onto SARIF levels.  Deterministic (findings sorted) so the
+    artifact diffs cleanly between lint runs.
+    """
+    results = []
+    rules_seen = {}
+    for finding in sorted(findings):
+        rules_seen.setdefault(finding.rule, {"id": finding.rule})
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+            }],
+        })
+    return {
+        "version": "2.1.0",
+        "$schema": ("https://json.schemastore.org/sarif-2.1.0.json"),
+        "runs": [{
+            "tool": {"driver": {
+                "name": "reprolint",
+                "rules": [rules_seen[rule_id]
+                          for rule_id in sorted(rules_seen)],
+            }},
+            "results": results,
+        }],
+    }

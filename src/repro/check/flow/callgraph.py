@@ -1,0 +1,673 @@
+"""Call graph and per-function facts for the flow rules (docs/FLOWCHECK.md).
+
+For every function in the :class:`~repro.check.flow.symbols.SymbolTable`
+a single AST pass extracts the facts the interprocedural rules need:
+
+* **call sites** — resolved to project function quals where possible
+  (imports chased, ``self``/typed receivers bound, unknown receivers
+  dispatched by class-hierarchy analysis with a candidate cap), each
+  tagged with the exception names caught around it;
+* **reference edges** — a function passed as a value (callback, pool
+  worker) links the referencer to the referee;
+* **nondeterminism events** — syntactic sources a per-file rule could
+  also see, but recorded here with normalized names so taint can flow
+  through calls (``time.time``, unseeded RNG constructors, ``id``/
+  ``hash`` ordering keys, set-literal iteration);
+* **writes** — stores/mutations hitting module-level globals or class
+  attributes, for the shared-state race rule;
+* **raises** — exceptions raised and not caught locally, seeds for the
+  escape fixpoint;
+* **dispatch sites** — multiprocessing entry points whose target
+  functions become worker-reachability roots.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .symbols import FunctionInfo, SymbolTable, _dotted
+
+#: Most override candidates a name-only (receiver type unknown) method
+#: call may fan out to; beyond this the edge is dropped as noise.
+CHA_CANDIDATE_CAP = 6
+
+#: Mutating container/method names: a call ``G.append(...)`` on a
+#: module global counts as a write to it.
+MUTATOR_METHODS = frozenset({
+    "append", "add", "update", "extend", "insert", "remove", "discard",
+    "clear", "pop", "popitem", "setdefault", "appendleft", "sort",
+})
+
+#: Attribute names on pool-like objects whose first argument is
+#: dispatched to worker processes.
+DISPATCH_ATTRS = frozenset({
+    "starmap", "starmap_async", "map", "map_async", "imap",
+    "imap_unordered", "apply", "apply_async", "submit",
+})
+
+#: Parameter names that mark a callable argument as a dispatch target
+#: when it is passed into a known project function or dataclass.
+DISPATCH_PARAM_NAMES = frozenset({"fn", "target", "func", "worker"})
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: Optional[str]            # normalized dotted name, None if dynamic
+    callees: Tuple[str, ...]       # resolved project function quals
+    line: int
+    caught: FrozenSet[str]         # exception names caught around the call
+    n_args: int
+    #: True when the callees came from name-only class-hierarchy
+    #: analysis (receiver type unknown) — an over-approximation rules
+    #: needing *proof* (exception-escape) must not lean on.
+    via_cha: bool = False
+
+
+@dataclass(frozen=True)
+class AttrStore:
+    """An attribute store ``recv.attr = …`` / ``recv.attr += …``."""
+
+    base: str                      # receiver as written ("stats", "self.x")
+    base_type: Optional[str]       # receiver class qual when inferred
+    attr: str
+    line: int
+
+
+@dataclass(frozen=True)
+class SourceEvent:
+    """A syntactic nondeterminism pattern (beyond plain calls)."""
+
+    kind: str                      # "id-ordering" | "set-iteration"
+    detail: str
+    line: int
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """A store or mutation hitting shared state."""
+
+    target_qual: str               # global var qual or "Class.attr" qual
+    kind: str                      # "global" | "class-attr"
+    detail: str
+    line: int
+
+
+@dataclass(frozen=True)
+class RaiseEvent:
+    """A raise not provably caught inside the raising function."""
+
+    name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class DispatchSite:
+    """A multiprocessing dispatch candidate.
+
+    ``channel`` says how confident the detection is: ``"pool"`` /
+    ``"process"`` sites are real multiprocessing APIs; ``"param"``
+    sites passed a callable into a dispatch-named parameter
+    (``fn=``/``target=``) of a project function — the race rule only
+    trusts those when the callee is a known work-unit constructor.
+    """
+
+    target: Optional[str]          # resolved function qual, if any
+    kind: str                      # "function" | "nested" | "lambda"
+    via: str                       # the API or parameter that took it
+    channel: str                   # "pool" | "process" | "param"
+    line: int
+    callee: Optional[str] = None   # qual the callable was passed into
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the flow rules need to know about one function."""
+
+    calls: List[CallSite] = field(default_factory=list)
+    refs: List[Tuple[str, int]] = field(default_factory=list)
+    sources: List[SourceEvent] = field(default_factory=list)
+    writes: List[WriteEvent] = field(default_factory=list)
+    attr_stores: List[AttrStore] = field(default_factory=list)
+    raises_: List[RaiseEvent] = field(default_factory=list)
+    dispatches: List[DispatchSite] = field(default_factory=list)
+
+    def callees(self) -> Set[str]:
+        out: Set[str] = set()
+        for call in self.calls:
+            out.update(call.callees)
+        out.update(qual for qual, _ in self.refs)
+        return out
+
+
+class CallGraph:
+    """Facts for every function, plus the induced call-edge relation."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.facts: Dict[str, FunctionFacts] = {}
+        for qual in sorted(table.functions):
+            self.facts[qual] = _FunctionAnalyzer(
+                table, table.functions[qual]).run()
+
+    def callees(self, qual: str) -> Set[str]:
+        facts = self.facts.get(qual)
+        return facts.callees() if facts else set()
+
+    def dump(self) -> dict:
+        """JSON-ready call-graph artifact (functions, edges, dispatches)."""
+        functions = []
+        for qual in sorted(self.facts):
+            info = self.table.functions[qual]
+            facts = self.facts[qual]
+            functions.append({
+                "qual": qual,
+                "path": info.relpath,
+                "line": info.lineno,
+                "calls": sorted(facts.callees()),
+                "dispatches": sorted(
+                    d.target for d in facts.dispatches if d.target),
+            })
+        return {
+            "schema": "repro-callgraph/1",
+            "modules": sorted(self.table.modules),
+            "functions": functions,
+        }
+
+
+class _FunctionAnalyzer:
+    """One pass over a function body, collecting :class:`FunctionFacts`."""
+
+    def __init__(self, table: SymbolTable, func: FunctionInfo) -> None:
+        self.table = table
+        self.func = func
+        self.module = table.modules[func.module]
+        self.facts = FunctionFacts()
+        self.class_info = (table.classes.get(func.class_qual)
+                           if func.class_qual else None)
+        self.shadowed: Set[str] = set(func.params)
+        self.local_types: Dict[str, str] = {}
+        self.global_decls: Set[str] = set()
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> FunctionFacts:
+        node = self.func.node
+        self._collect_param_types(node)
+        self._collect_locals(node)
+        self._visit_block(node.body, frozenset(), None)
+        return self.facts
+
+    def _collect_param_types(self, node) -> None:
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None:
+                continue
+            from .symbols import _annotation_names
+            for candidate in _annotation_names(arg.annotation):
+                qual = self._resolve(candidate, typed=True)
+                if qual in self.table.classes:
+                    self.local_types[arg.arg] = qual
+                    break
+
+    def _collect_locals(self, node) -> None:
+        for child in _pruned_walk(node, skip_root_def=True):
+            if isinstance(child, ast.Global):
+                self.global_decls.update(child.names)
+            elif isinstance(child, (ast.Assign, ast.AnnAssign)):
+                targets = (child.targets if isinstance(child, ast.Assign)
+                           else [child.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if target.id not in self.global_decls:
+                            self.shadowed.add(target.id)
+                        self._maybe_type_local(target.id, child.value)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                for target in ast.walk(child.target):
+                    if isinstance(target, ast.Name):
+                        self.shadowed.add(target.id)
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        self.shadowed.add(item.optional_vars.id)
+
+    def _maybe_type_local(self, name: str, value) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        dotted = _dotted(value.func)
+        if dotted is None:
+            return
+        qual = self._resolve(dotted, typed=True)
+        if qual in self.table.classes:
+            self.local_types[name] = qual
+
+    # -- statement walk with exception context ----------------------------
+
+    def _visit_block(self, stmts, caught: FrozenSet[str],
+                     handler_ctx: Optional[FrozenSet[str]]) -> None:
+        for stmt in stmts:
+            self._visit_stmt(stmt, caught, handler_ctx)
+
+    def _visit_stmt(self, stmt, caught: FrozenSet[str],
+                    handler_ctx: Optional[FrozenSet[str]]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # nested definitions are separate graph nodes; a reference
+            # edge keeps them reachable from here
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.facts.refs.append(
+                    (f"{self.func.qual}.{stmt.name}", stmt.lineno))
+            return
+        if isinstance(stmt, ast.Try) or (
+                hasattr(ast, "TryStar")
+                and isinstance(stmt, getattr(ast, "TryStar"))):
+            names: Set[str] = set()
+            for handler in stmt.handlers:
+                names |= self._handler_names(handler)
+            self._visit_block(stmt.body, caught | frozenset(names),
+                              handler_ctx)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body, caught,
+                                  frozenset(self._handler_names(handler)))
+            self._visit_block(stmt.orelse, caught, handler_ctx)
+            self._visit_block(stmt.finalbody, caught, handler_ctx)
+            return
+        if isinstance(stmt, ast.Raise):
+            self._record_raise(stmt, caught, handler_ctx)
+            if stmt.exc is not None:
+                self._visit_expr_tree(stmt.exc, caught)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._visit_expr_tree(stmt.test, caught)
+            self._visit_block(stmt.body, caught, handler_ctx)
+            self._visit_block(stmt.orelse, caught, handler_ctx)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_set_iteration(stmt)
+            self._visit_expr_tree(stmt.iter, caught)
+            self._visit_block(stmt.body, caught, handler_ctx)
+            self._visit_block(stmt.orelse, caught, handler_ctx)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._visit_expr_tree(item.context_expr, caught)
+            self._visit_block(stmt.body, caught, handler_ctx)
+            return
+        if hasattr(ast, "Match") and isinstance(stmt, getattr(ast, "Match")):
+            self._visit_expr_tree(stmt.subject, caught)
+            for case in stmt.cases:
+                self._visit_block(case.body, caught, handler_ctx)
+            return
+        # simple statement: writes, then every expression inside it
+        self._check_writes(stmt)
+        self._visit_expr_tree(stmt, caught)
+
+    def _handler_names(self, handler: ast.ExceptHandler) -> Set[str]:
+        if handler.type is None:
+            return {"BaseException"}
+        types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                 else [handler.type])
+        names: Set[str] = set()
+        for node in types:
+            dotted = _dotted(node)
+            if dotted:
+                names.add(dotted.split(".")[-1])
+        return names
+
+    def _record_raise(self, stmt: ast.Raise, caught: FrozenSet[str],
+                      handler_ctx: Optional[FrozenSet[str]]) -> None:
+        if stmt.exc is None:
+            # bare re-raise: the in-flight exception(s) of the handler
+            for name in sorted(handler_ctx or ()):
+                if not _covered(name, caught):
+                    self.facts.raises_.append(RaiseEvent(name, stmt.lineno))
+            return
+        node = stmt.exc
+        if isinstance(node, ast.Call):
+            node = node.func
+        dotted = _dotted(node)
+        if dotted is None:
+            return
+        name = dotted.split(".")[-1]
+        if not _covered(name, caught):
+            self.facts.raises_.append(RaiseEvent(name, stmt.lineno))
+
+    # -- expression walk --------------------------------------------------
+
+    def _visit_expr_tree(self, node, caught: FrozenSet[str]) -> None:
+        if node is None:
+            return
+        for child in _pruned_walk(node):
+            if isinstance(child, ast.Call):
+                self._handle_call(child, caught)
+            elif isinstance(child, ast.Name) and isinstance(
+                    child.ctx, ast.Load):
+                self._handle_name_ref(child)
+
+    def _handle_name_ref(self, node: ast.Name) -> None:
+        if node.id in self.shadowed or node.id in self.global_decls:
+            return
+        # a nested function referenced by bare name
+        nested = f"{self.func.qual}.{node.id}"
+        if nested in self.table.functions:
+            self.facts.refs.append((nested, node.lineno))
+            return
+        qual = self.module.functions.get(node.id)
+        if qual is None:
+            resolved = self.table.canonicalize(
+                self.table.resolve(self.func.module, node.id,
+                                   self.shadowed) or "")
+            qual = resolved if resolved in self.table.functions else None
+        if qual:
+            self.facts.refs.append((qual, node.lineno))
+
+    # -- calls ------------------------------------------------------------
+
+    def _handle_call(self, call: ast.Call, caught: FrozenSet[str]) -> None:
+        name, callees, via_cha = self._resolve_call(call.func)
+        n_args = len(call.args) + len(call.keywords)
+        self.facts.calls.append(CallSite(
+            name=name, callees=tuple(sorted(callees)), line=call.lineno,
+            caught=caught, n_args=n_args, via_cha=via_cha))
+        self._check_ordering_key(call, name)
+        self._check_dispatch(call, name, callees)
+
+    def _resolve_call(self, func) -> Tuple[Optional[str], Set[str], bool]:
+        """(normalized name, resolved project callee quals, via CHA?)."""
+        callees: Set[str] = set()
+        if isinstance(func, ast.Attribute):
+            recv_type = self._type_of(func.value)
+            if recv_type is not None:
+                quals = self.table.resolve_method(recv_type, func.attr)
+                callees.update(quals)
+                return f"{recv_type}.{func.attr}", callees, False
+        dotted = _dotted(func)
+        if dotted is None:
+            return None, callees, False
+        resolved = self.table.canonicalize(
+            self.table.resolve(self.func.module, dotted, self.shadowed)
+            or "")
+        if not resolved:
+            # shadowed head — typed-receiver resolution already failed;
+            # fall through to name-only CHA for attribute calls
+            resolved = dotted
+        if resolved in self.table.functions:
+            callees.add(resolved)
+            return resolved, callees, False
+        if resolved in self.table.classes:
+            init = self.table.classes[resolved].methods.get("__init__")
+            if init:
+                callees.add(init)
+            return resolved, callees, False
+        # Class.method spelled directly (Class resolved, method suffix)
+        head, _, tail = resolved.rpartition(".")
+        if head in self.table.classes and tail:
+            callees.update(self.table.resolve_method(head, tail))
+            return resolved, callees, False
+        via_cha = False
+        head = dotted.split(".")[0]
+        if (isinstance(func, ast.Attribute) and "." in dotted
+                and head not in self.module.imports):
+            # unknown receiver: class-hierarchy analysis by method name.
+            # Receivers rooted in an imported external module
+            # (sys.stderr.flush, np.ndarray.sort, ...) are exempt — a
+            # name collision there would fabricate project edges.
+            candidates = self.table.methods_by_name.get(func.attr, [])
+            if 0 < len(candidates) <= CHA_CANDIDATE_CAP:
+                callees.update(candidates)
+                via_cha = True
+        return resolved, callees, via_cha
+
+    def _type_of(self, node) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            if node.id in ("self", "cls") and self.func.class_qual:
+                return self.func.class_qual
+            return self.local_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._type_of(node.value)
+            if base is None:
+                return None
+            for cq in self.table.mro(base):
+                attr_type = self.table.classes[cq].attr_types.get(node.attr)
+                if attr_type:
+                    return attr_type
+            return None
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted:
+                qual = self._resolve(dotted, typed=True)
+                if qual in self.table.classes:
+                    return qual
+        return None
+
+    def _resolve(self, dotted: str, typed: bool = False) -> str:
+        shadowed = () if typed else self.shadowed
+        return self.table.canonicalize(
+            self.table.resolve(self.func.module, dotted, shadowed)
+            or dotted)
+
+    # -- nondeterminism patterns ------------------------------------------
+
+    def _check_ordering_key(self, call: ast.Call,
+                            name: Optional[str]) -> None:
+        """``sorted(xs, key=id)`` and friends: identity as an order."""
+        is_sort = (name == "sorted"
+                   or (isinstance(call.func, ast.Attribute)
+                       and call.func.attr == "sort"))
+        if not is_sort:
+            return
+        for keyword in call.keywords:
+            if keyword.arg != "key":
+                continue
+            bad = None
+            if (isinstance(keyword.value, ast.Name)
+                    and keyword.value.id in ("id", "hash")):
+                bad = keyword.value.id
+            elif isinstance(keyword.value, ast.Lambda):
+                for inner in ast.walk(keyword.value.body):
+                    if (isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Name)
+                            and inner.func.id in ("id", "hash")):
+                        bad = inner.func.id
+                        break
+            if bad:
+                self.facts.sources.append(SourceEvent(
+                    "id-ordering", f"sort key uses {bad}()", call.lineno))
+
+    def _check_set_iteration(self, stmt) -> None:
+        """``for x in {…} / set(…)``: iteration order is arbitrary."""
+        it = stmt.iter
+        is_set = isinstance(it, (ast.Set, ast.SetComp))
+        if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id in ("set", "frozenset")):
+            is_set = True
+        if is_set:
+            self.facts.sources.append(SourceEvent(
+                "set-iteration", "iterating a set in order-sensitive code",
+                stmt.lineno))
+
+    # -- writes -----------------------------------------------------------
+
+    def _check_writes(self, stmt) -> None:
+        targets: List[Tuple[ast.AST, str]] = []
+        if isinstance(stmt, ast.Assign):
+            targets = [(t, "=") for t in stmt.targets]
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [(stmt.target, "=")]
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            self._check_mutator_call(stmt.value)
+            return
+        for target, op in targets:
+            self._check_write_target(target, stmt.lineno)
+
+    def _check_write_target(self, target, lineno: int) -> None:
+        if isinstance(target, ast.Attribute):
+            base_dotted = _dotted(target.value)
+            if base_dotted is not None:
+                self.facts.attr_stores.append(AttrStore(
+                    base=base_dotted,
+                    base_type=self._type_of(target.value),
+                    attr=target.attr, line=lineno))
+        if isinstance(target, ast.Name):
+            if target.id in self.global_decls:
+                var = self.module.globals_.get(target.id)
+                qual = var.qual if var else f"{self.func.module}.{target.id}"
+                self.facts.writes.append(WriteEvent(
+                    qual, "global", f"assigns global '{target.id}'",
+                    lineno))
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_write_target(element, lineno)
+            return
+        base, label = None, None
+        if isinstance(target, ast.Attribute):
+            base, label = target.value, f"attribute '.{target.attr}'"
+        elif isinstance(target, ast.Subscript):
+            base, label = target.value, "an item"
+        if base is None:
+            return
+        owner = self._shared_owner(base)
+        if owner is not None:
+            qual, kind, name = owner
+            self.facts.writes.append(WriteEvent(
+                qual, kind, f"writes {label} of {kind} '{name}'", lineno))
+
+    def _check_mutator_call(self, call: ast.Call) -> None:
+        if not (isinstance(call.func, ast.Attribute)
+                and call.func.attr in MUTATOR_METHODS):
+            return
+        owner = self._shared_owner(call.func.value)
+        if owner is not None:
+            qual, kind, name = owner
+            self.facts.writes.append(WriteEvent(
+                qual, kind, f"calls .{call.func.attr}() on {kind} '{name}'",
+                call.lineno))
+
+    def _shared_owner(self, node) -> Optional[Tuple[str, str, str]]:
+        """(qual, kind, display name) when node denotes shared state."""
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        head = dotted.split(".")[0]
+        if head in self.shadowed or head in ("self", "cls"):
+            return None
+        resolved = self.table.canonicalize(
+            self.table.resolve(self.func.module, dotted, self.shadowed)
+            or "")
+        if not resolved:
+            return None
+        if resolved in self.table.globals_:
+            return resolved, "global", dotted
+        head_resolved, _, attr = resolved.rpartition(".")
+        if head_resolved in self.table.globals_:
+            return head_resolved, "global", dotted.split(".")[0]
+        if resolved in self.table.classes or (
+                head_resolved in self.table.classes and attr):
+            qual = resolved if resolved in self.table.classes \
+                else head_resolved
+            return qual, "class-attr", dotted
+        return None
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _check_dispatch(self, call: ast.Call, name: Optional[str],
+                        callees: Set[str]) -> None:
+        # pool.starmap(fn, ...), pool.apply_async(fn, ...)
+        if (isinstance(call.func, ast.Attribute)
+                and call.func.attr in DISPATCH_ATTRS and call.args):
+            self._record_dispatch_arg(call.args[0], via=call.func.attr,
+                                      channel="pool", line=call.lineno)
+        # Process(target=fn)
+        if name and name.split(".")[-1] == "Process":
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    self._record_dispatch_arg(
+                        keyword.value, via="Process", channel="process",
+                        line=call.lineno)
+        # fn passed by (keyword or positional) dispatch-named parameter
+        # into a known project function or dataclass constructor
+        params = self._callee_params(callees, name)
+        if params:
+            callee = name if name in self.table.classes else (
+                min(callees) if callees else name)
+            for index, arg in enumerate(call.args):
+                if (index < len(params)
+                        and params[index] in DISPATCH_PARAM_NAMES):
+                    self._record_dispatch_arg(
+                        arg, via=params[index], channel="param",
+                        line=call.lineno, callee=callee)
+            for keyword in call.keywords:
+                if keyword.arg in DISPATCH_PARAM_NAMES:
+                    self._record_dispatch_arg(
+                        keyword.value, via=keyword.arg, channel="param",
+                        line=call.lineno, callee=callee)
+
+    def _callee_params(self, callees: Set[str],
+                       name: Optional[str]) -> Tuple[str, ...]:
+        for qual in sorted(callees):
+            info = self.table.functions.get(qual)
+            if info is None:
+                continue
+            params = info.params
+            if info.class_qual and params and params[0] in ("self", "cls"):
+                params = params[1:]
+            return params
+        if name in self.table.classes:
+            return self.table.classes[name].fields
+        return ()
+
+    def _record_dispatch_arg(self, node, via: str, channel: str,
+                             line: int,
+                             callee: Optional[str] = None) -> None:
+        if isinstance(node, ast.Lambda):
+            self.facts.dispatches.append(
+                DispatchSite(None, "lambda", via, channel, line, callee))
+            return
+        dotted = _dotted(node)
+        if dotted is None:
+            return
+        nested = f"{self.func.qual}.{dotted}"
+        if nested in self.table.functions:
+            self.facts.dispatches.append(
+                DispatchSite(nested, "nested", via, channel, line, callee))
+            return
+        resolved = self.table.canonicalize(
+            self.table.resolve(self.func.module, dotted, self.shadowed)
+            or "")
+        if resolved in self.table.functions:
+            info = self.table.functions[resolved]
+            kind = "nested" if info.parent_qual else "function"
+            self.facts.dispatches.append(
+                DispatchSite(resolved, kind, via, channel, line, callee))
+
+
+def _covered(name: str, caught: FrozenSet[str]) -> bool:
+    """Is an exception of this name caught by the surrounding handlers?"""
+    return (name in caught or "Exception" in caught
+            or "BaseException" in caught
+            or (name == "SanitizerError" and "AssertionError" in caught))
+
+
+def _pruned_walk(node, skip_root_def: bool = False) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested definitions.
+
+    Lambda bodies ARE descended into: a lambda has no graph node of
+    its own, so its calls conservatively belong to the enclosing
+    function.
+    """
+    stack = [node]
+    first = True
+    while stack:
+        current = stack.pop()
+        if not (first and skip_root_def):
+            yield current
+        first = False
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            stack.append(child)

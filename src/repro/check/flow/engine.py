@@ -1,0 +1,185 @@
+"""Interprocedural fixpoints over the call graph (docs/FLOWCHECK.md).
+
+:class:`FlowProgram` bundles one symbol table + call graph build and
+exposes the three analyses the flow rules are written against:
+
+* :meth:`propagate` — a label-set fixpoint along call edges, used both
+  forward-from-sources and backward-into-sinks.  Functions annotated
+  ``# flowcheck: boundary(reason)`` are *cuts*: labels never propagate
+  through them, which is exactly the "audited seeded-RNG / provenance
+  interface" escape hatch the determinism rule allows.
+* :meth:`raises_fixpoint` — which tracked exception names may escape
+  each function, seeded from local ``raise`` statements and widened
+  through call sites minus each site's caught-handler set.
+* :meth:`reachable_from` — forward closure used to find everything a
+  multiprocessing worker can execute.
+
+Everything is deterministic: functions are processed in sorted order
+and all result sets are sorted before findings are minted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from .callgraph import CallGraph, _covered
+from .symbols import Annotation, SymbolTable
+
+
+class FlowProgram:
+    """One whole-program analysis context (symbols + call graph)."""
+
+    def __init__(self, root: Path, files: Sequence[Path]) -> None:
+        self.root = Path(root)
+        self.table = SymbolTable.build(self.root, files)
+        self.graph = CallGraph(self.table)
+        self._boundaries: Optional[Set[str]] = None
+
+    # -- boundaries -------------------------------------------------------
+
+    @property
+    def boundaries(self) -> Set[str]:
+        """Function quals annotated ``# flowcheck: boundary(...)``."""
+        if self._boundaries is None:
+            out: Set[str] = set()
+            for qual, info in self.table.functions.items():
+                note = self.table.annotation_at(
+                    info.relpath, info.lineno, "boundary")
+                if note is not None:
+                    note.consumed = True
+                    out.add(qual)
+            self._boundaries = out
+        return self._boundaries
+
+    # -- generic label propagation ----------------------------------------
+
+    def propagate(self, own: Dict[str, Set[str]],
+                  cut: Iterable[str] = ()) -> Dict[str, Set[str]]:
+        """Fixpoint: reach[f] = own[f] ∪ ⋃ reach[callee of f].
+
+        Functions in ``cut`` always map to the empty set — nothing
+        inside them is visible from their callers.
+        """
+        cut_set = set(cut)
+        reach: Dict[str, Set[str]] = {
+            qual: set() if qual in cut_set else set(own.get(qual, ()))
+            for qual in self.graph.facts}
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(self.graph.facts):
+                if qual in cut_set:
+                    continue
+                bucket = reach[qual]
+                before = len(bucket)
+                for callee in self.graph.callees(qual):
+                    bucket.update(reach.get(callee, ()))
+                if len(bucket) != before:
+                    changed = True
+        return reach
+
+    def witness_path(self, start: str, goal_labels: Set[str],
+                     own: Dict[str, Set[str]],
+                     reach: Dict[str, Set[str]]) -> List[str]:
+        """A deterministic call chain from ``start`` to a function whose
+        *own* labels intersect the goal — for human-readable messages."""
+        if own.get(start, set()) & goal_labels:
+            return [start]
+        seen = {start}
+        frontier = [[start]]
+        while frontier:
+            path = frontier.pop(0)
+            for callee in sorted(self.graph.callees(path[-1])):
+                if callee in seen:
+                    continue
+                seen.add(callee)
+                if not (reach.get(callee, set()) & goal_labels):
+                    continue
+                extended = path + [callee]
+                if own.get(callee, set()) & goal_labels:
+                    return extended
+                frontier.append(extended)
+        return [start]
+
+    # -- exception escape -------------------------------------------------
+
+    def raises_fixpoint(self,
+                        tracked: Sequence[str]) -> Dict[str, Set[str]]:
+        """Which tracked exception names may escape each function.
+
+        Only proof-grade call edges participate — sites resolved by
+        name-only CHA (``via_cha``) are skipped, so an unlucky method
+        name cannot fabricate an escape path.
+        """
+        tracked_set = set(tracked)
+        raises: Dict[str, Set[str]] = {}
+        for qual, facts in self.graph.facts.items():
+            raises[qual] = {event.name for event in facts.raises_
+                            if event.name in tracked_set}
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(self.graph.facts):
+                bucket = raises[qual]
+                before = len(bucket)
+                for call in self.graph.facts[qual].calls:
+                    if call.via_cha:
+                        continue
+                    for callee in call.callees:
+                        for name in raises.get(callee, ()):
+                            if not _covered(name, call.caught):
+                                bucket.add(name)
+                if len(bucket) != before:
+                    changed = True
+        return raises
+
+    # -- worker reachability ----------------------------------------------
+
+    def dispatch_roots(self) -> Dict[str, str]:
+        """Function qual -> description of the dispatch that roots it."""
+        roots: Dict[str, str] = {}
+        for qual in sorted(self.graph.facts):
+            info = self.table.functions[qual]
+            for site in self.graph.facts[qual].dispatches:
+                if site.target and site.target not in roots:
+                    roots[site.target] = (
+                        f"{info.relpath}:{site.line} via {site.via}")
+        return roots
+
+    def reachable_from(self, roots: Iterable[str]) -> Dict[str, str]:
+        """Forward closure; maps each reached function to its root."""
+        out: Dict[str, str] = {}
+        queue: List[str] = []
+        for root in sorted(set(roots)):
+            if root in self.graph.facts and root not in out:
+                out[root] = root
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(self.graph.callees(current)):
+                if callee in self.graph.facts and callee not in out:
+                    out[callee] = out[current]
+                    queue.append(callee)
+        return out
+
+    # -- annotation bookkeeping -------------------------------------------
+
+    def unconsumed_annotations(self) -> List[tuple]:
+        """(relpath, Annotation) for every marker that waived nothing."""
+        out = []
+        for relpath in sorted(self.table.by_relpath):
+            mod = self.table.by_relpath[relpath]
+            for line in sorted(mod.annotations):
+                note: Annotation = mod.annotations[line]
+                if not note.consumed:
+                    out.append((relpath, note))
+        return out
+
+    # -- artifact ---------------------------------------------------------
+
+    def dump_callgraph(self) -> dict:
+        doc = self.graph.dump()
+        doc["boundaries"] = sorted(self.boundaries)
+        doc["dispatch_roots"] = self.dispatch_roots()
+        return doc

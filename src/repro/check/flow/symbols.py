@@ -1,0 +1,531 @@
+"""Project-wide symbol table for the flow engine (docs/FLOWCHECK.md).
+
+One :class:`SymbolTable` holds every module under the lint roots,
+parsed once: module names derived from repo-relative paths, import
+aliases (including relative imports and package re-exports), top-level
+functions, classes with their methods / dataclass fields / inferred
+attribute types, module-level globals (with a mutability guess from
+the initializer), and ``# flowcheck:`` annotations.
+
+The table answers the one question every flow pass asks: *given a
+dotted name written in module M, which project symbol (or external
+qualified name) does it denote?*  Resolution chases import chains
+through package ``__init__`` re-exports (``from ..runner import
+RunJournal`` canonicalizes to ``repro.runner.journal.RunJournal``), so
+rules match call targets against stable qualified names no matter how
+a call site spells them.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: ``# flowcheck: <kind>(<reason>)`` — the inline annotation grammar.
+#: ``boundary`` marks a function as an audited nondeterminism boundary
+#: (taint does not escape it); ``shared-ok`` waives a shared-state
+#: finding for a deliberately shared global or class attribute.
+ANNOTATION_KINDS = ("boundary", "shared-ok")
+
+_ANNOTATION = re.compile(
+    r"#\s*flowcheck:\s*(" + "|".join(ANNOTATION_KINDS) + r")\(([^)]*)\)")
+
+#: Initializer call names that make a module-level global mutable.
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "OrderedDict", "Counter", "deque"}
+
+
+def comment_tokens(text: str) -> List[Tuple[int, str, bool]]:
+    """(line, comment text, standalone?) for every real comment.
+
+    Tokenized, not regex-scanned, so comment-shaped strings inside
+    docstrings do not register.  Falls back to a line scan when the
+    file does not tokenize (syntax errors still deserve suppression
+    handling).
+    """
+    out: List[Tuple[int, str, bool]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                line_text = tok.line[:tok.start[1]].strip()
+                out.append((tok.start[0], tok.string, line_text == ""))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        out = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            if "#" in line:
+                idx = line.index("#")
+                out.append((number, line[idx:], line[:idx].strip() == ""))
+    return out
+
+
+@dataclass
+class Annotation:
+    """One inline ``# flowcheck:`` marker."""
+
+    kind: str
+    reason: str
+    line: int               # line the comment sits on
+    anchor: int             # line the annotation governs
+    consumed: bool = False
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable assignment."""
+
+    name: str
+    qual: str
+    module: str
+    lineno: int
+    mutable: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qual: str
+    module: str
+    relpath: str
+    name: str
+    lineno: int
+    node: ast.AST
+    params: Tuple[str, ...]
+    class_qual: Optional[str] = None
+    parent_qual: Optional[str] = None     # enclosing function, if nested
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class definition."""
+
+    qual: str
+    module: str
+    relpath: str
+    name: str
+    lineno: int
+    base_names: Tuple[str, ...] = ()
+    base_quals: Tuple[str, ...] = ()
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: AnnAssign field names in declaration order (dataclass ctor order).
+    fields: Tuple[str, ...] = ()
+    #: attribute name -> class qual inferred from annotations/ctor calls.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    modname: str
+    relpath: str
+    is_package: bool
+    tree: Optional[ast.Module]
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, str] = field(default_factory=dict)
+    globals_: Dict[str, GlobalVar] = field(default_factory=dict)
+    annotations: Dict[int, Annotation] = field(default_factory=dict)
+
+
+def module_name(relpath: str) -> Tuple[str, bool]:
+    """(dotted module name, is_package) for a repo-relative path."""
+    parts = list(PurePosixPath(relpath).with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    is_package = False
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+        is_package = True
+    return ".".join(parts), is_package
+
+
+class SymbolTable:
+    """Every module, function, class and global under the lint roots."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_relpath: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.globals_: Dict[str, GlobalVar] = {}
+        self.subclasses: Dict[str, Set[str]] = {}
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: files that failed to parse: relpath -> error message.
+        self.broken: Dict[str, str] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, root: Path, files: Sequence[Path]) -> "SymbolTable":
+        table = cls()
+        for path in sorted(files):
+            table._add_file(Path(path), Path(root))
+        table._finalize()
+        return table
+
+    def _add_file(self, path: Path, root: Path) -> None:
+        relpath = path.relative_to(root).as_posix()
+        modname, is_package = module_name(relpath)
+        text = path.read_text()
+        try:
+            tree = ast.parse(text, filename=relpath)
+        except SyntaxError as exc:
+            self.broken[relpath] = f"{exc.msg} (line {exc.lineno})"
+            self.modules[modname] = ModuleInfo(modname, relpath,
+                                               is_package, None)
+            self.by_relpath[relpath] = self.modules[modname]
+            return
+        mod = ModuleInfo(modname, relpath, is_package, tree)
+        self.modules[modname] = mod
+        self.by_relpath[relpath] = mod
+        self._collect_annotations(mod, text)
+        self._collect_imports(mod)
+        self._collect_definitions(mod)
+
+    def _collect_annotations(self, mod: ModuleInfo, text: str) -> None:
+        for line, comment, standalone in comment_tokens(text):
+            match = _ANNOTATION.search(comment)
+            if match:
+                anchor = line + 1 if standalone else line
+                mod.annotations[line] = Annotation(
+                    kind=match.group(1), reason=match.group(2).strip(),
+                    line=line, anchor=anchor)
+
+    def _collect_imports(self, mod: ModuleInfo) -> None:
+        assert mod.tree is not None
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    mod.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(mod, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{base}.{alias.name}"
+
+    @staticmethod
+    def _import_base(mod: ModuleInfo,
+                     node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        parts = mod.modname.split(".")
+        if not mod.is_package:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        if drop:
+            parts = parts[:-drop]
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts) if parts else None
+
+    def _collect_definitions(self, mod: ModuleInfo) -> None:
+        assert mod.tree is not None
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, node, prefix=mod.modname,
+                                   class_qual=None, parent_qual=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(mod, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._add_global(mod, node)
+
+    def _add_function(self, mod: ModuleInfo, node, prefix: str,
+                      class_qual: Optional[str],
+                      parent_qual: Optional[str]) -> None:
+        qual = f"{prefix}.{node.name}"
+        params = tuple(
+            arg.arg for arg in (node.args.posonlyargs + node.args.args
+                                + node.args.kwonlyargs))
+        info = FunctionInfo(qual=qual, module=mod.modname,
+                            relpath=mod.relpath, name=node.name,
+                            lineno=node.lineno, node=node, params=params,
+                            class_qual=class_qual, parent_qual=parent_qual)
+        self.functions[qual] = info
+        if class_qual is None and parent_qual is None:
+            mod.functions[node.name] = qual
+        # Nested defs become their own nodes (reached via reference
+        # edges from the parent); one level of nesting is plenty here.
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_qual = f"{qual}.{child.name}"
+                if child_qual not in self.functions:
+                    self.functions[child_qual] = FunctionInfo(
+                        qual=child_qual, module=mod.modname,
+                        relpath=mod.relpath, name=child.name,
+                        lineno=child.lineno, node=child,
+                        params=tuple(a.arg for a in child.args.args),
+                        class_qual=class_qual, parent_qual=qual)
+
+    def _add_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{mod.modname}.{node.name}"
+        bases = tuple(name for name in
+                      (_dotted(base) for base in node.bases)
+                      if name is not None)
+        fields: List[str] = []
+        info = ClassInfo(qual=qual, module=mod.modname,
+                         relpath=mod.relpath, name=node.name,
+                         lineno=node.lineno, base_names=bases)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, stmt, prefix=qual,
+                                   class_qual=qual, parent_qual=None)
+                info.methods[stmt.name] = f"{qual}.{stmt.name}"
+            elif (isinstance(stmt, ast.AnnAssign)
+                  and isinstance(stmt.target, ast.Name)):
+                fields.append(stmt.target.id)
+                ann = _annotation_names(stmt.annotation)
+                if ann:
+                    # resolved against the table in _finalize
+                    info.attr_types[stmt.target.id] = "|".join(ann)
+        info.fields = tuple(fields)
+        self.classes[qual] = info
+        mod.classes[node.name] = qual
+
+    def _add_global(self, mod: ModuleInfo, node) -> None:
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        value = node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            qual = f"{mod.modname}.{target.id}"
+            var = GlobalVar(name=target.id, qual=qual,
+                            module=mod.modname, lineno=node.lineno,
+                            mutable=_is_mutable_value(value))
+            mod.globals_[target.id] = var
+            self.globals_[qual] = var
+
+    # -- finalize: hierarchy + attribute types ----------------------------
+
+    def _finalize(self) -> None:
+        for info in self.classes.values():
+            quals = []
+            for base in info.base_names:
+                resolved = self.canonicalize(
+                    self.resolve(info.module, base) or base)
+                if resolved in self.classes:
+                    quals.append(resolved)
+                    self.subclasses.setdefault(resolved, set()).add(
+                        info.qual)
+            info.base_quals = tuple(quals)
+        for info in self.classes.values():
+            for name, qual in info.methods.items():
+                self.methods_by_name.setdefault(name, []).append(qual)
+            # resolve annotation-name unions stashed by _add_class
+            resolved_types: Dict[str, str] = {}
+            for attr, names in info.attr_types.items():
+                for candidate in names.split("|"):
+                    qual = self.canonicalize(
+                        self.resolve(info.module, candidate) or candidate)
+                    if qual in self.classes:
+                        resolved_types[attr] = qual
+                        break
+            info.attr_types = resolved_types
+        for name in self.methods_by_name:
+            self.methods_by_name[name].sort()
+        for info in self.classes.values():
+            self._infer_init_attr_types(info)
+
+    def _infer_init_attr_types(self, info: ClassInfo) -> None:
+        init_qual = info.methods.get("__init__")
+        if init_qual is None:
+            return
+        node = self.functions[init_qual].node
+        param_types: Dict[str, str] = {}
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None:
+                continue
+            for candidate in _annotation_names(arg.annotation):
+                qual = self.canonicalize(
+                    self.resolve(info.module, candidate) or candidate)
+                if qual in self.classes:
+                    param_types[arg.arg] = qual
+                    break
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                if target.attr in info.attr_types:
+                    continue
+                value = stmt.value
+                if (isinstance(value, ast.Name)
+                        and value.id in param_types):
+                    info.attr_types[target.attr] = param_types[value.id]
+                elif isinstance(value, ast.Call):
+                    name = _dotted(value.func)
+                    if name:
+                        qual = self.canonicalize(
+                            self.resolve(info.module, name) or name)
+                        if qual in self.classes:
+                            info.attr_types[target.attr] = qual
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve(self, modname: str, dotted: str,
+                shadowed: Iterable[str] = ()) -> Optional[str]:
+        """Resolve a dotted name written in ``modname`` to a qualified
+        name — a project symbol or a normalized external name."""
+        parts = dotted.split(".")
+        head = parts[0]
+        if head in set(shadowed):
+            return None
+        mod = self.modules.get(modname)
+        if mod is None:
+            return dotted
+        if head in mod.imports:
+            return ".".join([mod.imports[head]] + parts[1:])
+        if head in mod.classes:
+            return ".".join([mod.classes[head]] + parts[1:])
+        if head in mod.functions and len(parts) == 1:
+            return mod.functions[head]
+        if head in mod.globals_:
+            return ".".join([mod.globals_[head].qual] + parts[1:])
+        return dotted
+
+    def canonicalize(self, full: str, _depth: int = 0) -> str:
+        """Chase re-export chains until the name stops moving."""
+        if _depth > 8 or not full:
+            return full
+        if (full in self.functions or full in self.classes
+                or full in self.globals_):
+            return full
+        parts = full.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:i])
+            mod = self.modules.get(prefix)
+            if mod is None:
+                continue
+            sym, rest = parts[i], parts[i + 1:]
+            if sym in mod.imports:
+                return self.canonicalize(
+                    ".".join([mod.imports[sym]] + rest), _depth + 1)
+            if sym in mod.classes:
+                return ".".join([mod.classes[sym]] + rest)
+            if sym in mod.functions and not rest:
+                return mod.functions[sym]
+            if sym in mod.globals_ and not rest:
+                return mod.globals_[sym].qual
+            break
+        return full
+
+    # -- class hierarchy --------------------------------------------------
+
+    def mro(self, class_qual: str) -> List[str]:
+        """Approximate linearization: the class, then BFS over bases."""
+        order, queue, seen = [], [class_qual], set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            order.append(current)
+            queue.extend(self.classes[current].base_quals)
+        return order
+
+    def all_subclasses(self, class_qual: str) -> Set[str]:
+        out: Set[str] = set()
+        queue = [class_qual]
+        while queue:
+            for sub in self.subclasses.get(queue.pop(), ()):
+                if sub not in out:
+                    out.add(sub)
+                    queue.append(sub)
+        return out
+
+    def resolve_method(self, class_qual: str, name: str) -> List[str]:
+        """Method candidates for ``obj.name()`` where obj: class_qual.
+
+        The static definition found along the MRO, plus every override
+        in the subtree below the receiver class (class-hierarchy
+        analysis for dynamic dispatch).
+        """
+        out: Set[str] = set()
+        for cq in self.mro(class_qual):
+            methods = self.classes[cq].methods
+            if name in methods:
+                out.add(methods[name])
+                break
+        for sub in self.all_subclasses(class_qual):
+            methods = self.classes[sub].methods
+            if name in methods:
+                out.add(methods[name])
+        return sorted(out)
+
+    # -- annotations ------------------------------------------------------
+
+    def annotation_at(self, relpath: str, anchor: int,
+                      kind: str) -> Optional[Annotation]:
+        """The ``# flowcheck: kind(...)`` annotation governing a line."""
+        mod = self.by_relpath.get(relpath)
+        if mod is None:
+            return None
+        for note in mod.annotations.values():
+            if note.kind == kind and note.anchor == anchor:
+                return note
+        return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_names(node: ast.AST) -> List[str]:
+    """Class-name candidates inside a type annotation expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotation: take the identifier-looking head
+        text = node.value.strip()
+        match = re.match(r"[A-Za-z_][\w.]*", text)
+        return [match.group(0)] if match else []
+    name = _dotted(node)
+    if name is not None:
+        return [name]
+    if isinstance(node, ast.Subscript):
+        # Optional[X] / Union[X, Y] / List[X]: consider the arguments
+        inner = node.slice
+        elements = (inner.elts if isinstance(inner, ast.Tuple)
+                    else [inner])
+        out: List[str] = []
+        for element in elements:
+            out.extend(_annotation_names(element))
+        return out
+    return []
+
+
+def _is_mutable_value(value: Optional[ast.AST]) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = _dotted(value.func)
+        return bool(name) and name.split(".")[-1] in _MUTABLE_CALLS
+    return False

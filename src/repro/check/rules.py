@@ -34,6 +34,22 @@ from .findings import Finding
 _SUPPRESS = re.compile(r"#\s*reprolint:\s*disable=([\w,\-]+)")
 
 
+class SuppressionComment:
+    """One ``# reprolint: disable=...`` comment, located and parsed."""
+
+    __slots__ = ("line", "ids", "standalone")
+
+    def __init__(self, line: int, ids, standalone: bool) -> None:
+        self.line = line
+        self.ids = tuple(ids)
+        self.standalone = bool(standalone)
+
+    def covered_lines(self):
+        """Lines this comment suppresses findings on."""
+        return (self.line, self.line + 1) if self.standalone \
+            else (self.line,)
+
+
 class ModuleSource:
     """One Python file prepared for linting: text, lines, AST, suppressions."""
 
@@ -45,6 +61,7 @@ class ModuleSource:
         self.lines = self.text.splitlines()
         self._tree: Optional[ast.Module] = None
         self._suppressions: Optional[Dict[int, Set[str]]] = None
+        self._comments: Optional[List["SuppressionComment"]] = None
 
     @property
     def tree(self) -> ast.Module:
@@ -52,6 +69,25 @@ class ModuleSource:
         if self._tree is None:
             self._tree = ast.parse(self.text, filename=str(self.path))
         return self._tree
+
+    @property
+    def suppression_comments(self) -> List["SuppressionComment"]:
+        """Every ``disable=`` comment, from real COMMENT tokens only —
+        a comment-shaped string inside a docstring does not count."""
+        if self._comments is None:
+            from .flow.symbols import comment_tokens
+            out: List[SuppressionComment] = []
+            for number, comment, standalone in comment_tokens(self.text):
+                match = _SUPPRESS.search(comment)
+                if not match:
+                    continue
+                ids = tuple(sorted({part.strip()
+                                    for part in match.group(1).split(",")
+                                    if part.strip()}))
+                if ids:
+                    out.append(SuppressionComment(number, ids, standalone))
+            self._comments = out
+        return self._comments
 
     @property
     def suppressions(self) -> Dict[int, Set[str]]:
@@ -62,15 +98,11 @@ class ModuleSource:
         """
         if self._suppressions is None:
             table: Dict[int, Set[str]] = {}
-            for number, line in enumerate(self.lines, start=1):
-                match = _SUPPRESS.search(line)
-                if not match:
-                    continue
-                ids = {part.strip() for part in match.group(1).split(",")
-                       if part.strip()}
-                table.setdefault(number, set()).update(ids)
-                if line.lstrip().startswith("#"):
-                    table.setdefault(number + 1, set()).update(ids)
+            for comment in self.suppression_comments:
+                table.setdefault(comment.line, set()).update(comment.ids)
+                if comment.standalone:
+                    table.setdefault(comment.line + 1,
+                                     set()).update(comment.ids)
             self._suppressions = table
         return self._suppressions
 
@@ -155,8 +187,9 @@ def get_rule(rule_id: str) -> Rule:
 
 
 def _ensure_builtins() -> None:
-    """Import the built-in rule module so its @register calls run."""
+    """Import the built-in rule modules so their @register calls run."""
     from . import builtin_rules  # noqa: F401
+    from .flow import rules as flow_rules  # noqa: F401
 
 
 def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:

@@ -232,7 +232,8 @@ def test_hot_path_wallclock_rule(tmp_path):
         "def f():\n"
         "    return time.perf_counter()\n"
     )
-    for hot_dir in ("core", "memory", "compression"):
+    for hot_dir in ("core", "memory", "compression", "compression/vector",
+                    "pressure"):
         kept, _ = _lint_snippet(
             tmp_path, f"src/repro/{hot_dir}/mod.py", bad,
             ["hot-path-wallclock"])
@@ -243,6 +244,29 @@ def test_hot_path_wallclock_rule(tmp_path):
     kept, _ = _lint_snippet(
         tmp_path, "src/repro/analysis/mod.py", bad, ["hot-path-wallclock"])
     assert kept == []
+
+
+def test_hot_path_wallclock_seeded_constructor_exempt(tmp_path):
+    """Explicitly seeded RNG constructors are the fix, not the bug."""
+    seeded = (
+        '"""doc."""\n'
+        "import numpy as np\n"
+        "def f(stable):\n"
+        "    a = np.random.RandomState(stable)\n"
+        "    b = np.random.default_rng(seed=stable)\n"
+        "    return a, b\n"
+    )
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/pressure/mod.py", seeded,
+        ["hot-path-wallclock"])
+    assert kept == []
+
+    unseeded = seeded.replace("np.random.RandomState(stable)",
+                              "np.random.RandomState()")
+    kept, _ = _lint_snippet(
+        tmp_path, "src/repro/pressure/mod.py", unseeded,
+        ["hot-path-wallclock"])
+    assert [f.line for f in kept] == [4]
 
     good = (
         '"""doc."""\n'
