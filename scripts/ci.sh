@@ -22,6 +22,9 @@ python scripts/check_instrumentation.py
 if [ -z "${CI_SKIP_TESTS:-}" ]; then
     echo "ci: tier-1 pytest"
     python -m pytest -x -q
+
+    echo "ci: chaos smoke (one sharded cell under kill/stall/message faults)"
+    python -m repro.analysis chaos --quick --events 300 --no-journal --strict
 fi
 
 echo "ci: OK"

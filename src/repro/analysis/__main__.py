@@ -170,6 +170,12 @@ def _run_command(argv) -> int:
                              "(site:rate[:burst], comma-separated; see "
                              "docs/ROBUSTNESS.md); implies "
                              "--sanitize recover unless a mode was given")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run multicore units across N supervised "
+                             "worker processes with heartbeats and "
+                             "deterministic replay (docs/SHARDING.md); "
+                             "results are byte-identical to the "
+                             "single-process path (default: 0 = off)")
     parser.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="kill and retry any unit running longer than "
@@ -184,6 +190,16 @@ def _run_command(argv) -> int:
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be at least 1")
+    if args.shards < 0:
+        parser.error("--shards must be non-negative")
+    if args.shards and (args.sanitize or args.inject):
+        parser.error("--shards is incompatible with --sanitize/--inject "
+                     "(docs/SHARDING.md)")
+    if args.shards and args.timeout:
+        parser.error("--shards is incompatible with --timeout: killing a "
+                     "supervisor unit would orphan its shard workers; the "
+                     "supervisor runs its own heartbeat watchdog "
+                     "(docs/SHARDING.md)")
     if args.inject:
         from ..inject import parse_fault_spec
         try:
@@ -219,7 +235,8 @@ def _run_command(argv) -> int:
     runner = Runner(jobs=args.jobs, cache=cache, journal=journal,
                     progress=True, timeout=args.timeout,
                     retries=args.retries,
-                    strict=not (args.timeout or args.retries))
+                    strict=not (args.timeout or args.retries),
+                    allow_children=bool(args.shards))
     scale = SCALES[args.scale]
     if args.trace_window:
         scale = dataclasses.replace(scale, trace_window=args.trace_window)
@@ -231,6 +248,8 @@ def _run_command(argv) -> int:
                                     sanitize=_SANITIZE_MODES[sanitize])
     if args.inject:
         scale = dataclasses.replace(scale, faults=args.inject)
+    if args.shards:
+        scale = dataclasses.replace(scale, shards=args.shards)
     started = time.time()
     if journal is not None:
         # reprolint: disable=determinism-taint -- wall-clock duration is journaled as provenance, never as a result
@@ -523,6 +542,108 @@ def _pressure_command(argv) -> int:
     return 0
 
 
+def _chaos_command(argv) -> int:
+    """Run the process-kill chaos campaign and assert its claims."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis chaos",
+        description="Process-level chaos campaign over the supervised "
+                    "sharded simulation: SIGKILL workers, stall "
+                    "heartbeats, drop/dup/reorder/poison messages.  "
+                    "Every committed fault must reconcile to a shard_* "
+                    "trace event and every merged result must stay "
+                    "byte-identical to the unchaosed run "
+                    "(docs/SHARDING.md).",
+    )
+    parser.add_argument("--shards", default="2,4,8", metavar="LIST",
+                        help="comma-separated shard counts to sweep "
+                             "(default: 2,4,8)")
+    parser.add_argument("--kill-rates", default="0.05,0.2", metavar="LIST",
+                        help="comma-separated per-segment kill "
+                             "probabilities (default: 0.05,0.2)")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="message-path chaos mixed into every cell "
+                             "(site:rate[:burst], comma-separated; "
+                             "default: drops, dups, reorders and poison "
+                             "at modest rates; empty string disables)")
+    parser.add_argument("--events", type=int, default=600, metavar="N",
+                        help="trace events per benchmark per cell "
+                             "(default: 600)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="single small cell (2 shards, highest kill "
+                             "rate) — the CI smoke")
+    parser.add_argument("--journal", default="runs.jsonl", metavar="PATH",
+                        help="run-journal JSONL path (default: "
+                             "runs.jsonl)")
+    parser.add_argument("--no-journal", dest="journal",
+                        action="store_const", const="",
+                        help="disable the run journal")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero unless every claim holds "
+                             "(zero silent faults, zero divergent cells, "
+                             "no cell errors)")
+    args = parser.parse_args(argv)
+
+    from ..shard import ChaosCampaign
+    from ..shard.chaos import DEFAULT_MESSAGE_CHAOS, parse_chaos_spec
+    try:
+        shard_counts = [int(part) for part in args.shards.split(",") if part]
+        kill_rates = [float(part) for part in args.kill_rates.split(",")
+                      if part]
+    except ValueError:
+        parser.error("--shards and --kill-rates take comma-separated "
+                     "numbers")
+    if not shard_counts or any(count < 1 for count in shard_counts):
+        parser.error("--shards needs at least one positive count")
+    if not kill_rates:
+        parser.error("--kill-rates needs at least one rate")
+    message_spec = (DEFAULT_MESSAGE_CHAOS if args.chaos is None
+                    else args.chaos)
+    if message_spec:
+        try:
+            parse_chaos_spec(message_spec)
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.quick:
+        shard_counts = shard_counts[:1]
+        kill_rates = [max(kill_rates)]
+
+    started = time.time()
+    campaign = ChaosCampaign(shard_counts=shard_counts,
+                             kill_rates=kill_rates,
+                             message_spec=message_spec, seed=args.seed,
+                             n_events=args.events)
+    cells = campaign.run()
+
+    from .report import ExperimentResult
+    result = ExperimentResult(
+        experiment_id="chaos",
+        title="Chaos campaign: supervised shards under kill/stall/"
+              "message faults",
+        columns=["shards", "kill_rate", "injected", "detected",
+                 "recovered", "masked", "silent", "divergent",
+                 "respawns", "error"],
+    )
+    for cell in cells:
+        result.add_row(**cell.as_row())
+    print(render(result))
+    injected = sum(cell.injected for cell in cells)
+    print(f"cells: {len(cells)}  injected: {injected}  "
+          f"silent: {campaign.silent_faults}  "
+          f"divergent: {campaign.divergent_cells}  "
+          f"clean: {campaign.clean}  [{time.time() - started:.1f}s]")
+    if args.journal:
+        # reprolint: disable=determinism-taint -- elapsed wall-clock is printed to the console only; chaos reconciliation runs on the supervisor trace
+        RunJournal(args.journal).event(
+            "chaos", cells=len(cells), injected=injected,
+            silent=campaign.silent_faults,
+            divergent=campaign.divergent_cells, clean=campaign.clean)
+    if args.strict and not campaign.clean:
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "run":
@@ -536,6 +657,8 @@ def main(argv=None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "pressure":
         return _pressure_command(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_command(argv[1:])
     if argv and argv[0] == "index":
         from ..results.cli import index_main
         return index_main(argv[1:])

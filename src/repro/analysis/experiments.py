@@ -94,11 +94,16 @@ class ExperimentScale:
     #: usually together with ``sanitize="recover"``
     #: (docs/ROBUSTNESS.md).
     faults: Optional[str] = None
+    #: Run multicore units across this many supervised worker processes
+    #: (``repro.shard``, docs/SHARDING.md; set via ``--shards`` on the
+    #: CLI).  0 keeps the single-process path; results are
+    #: byte-identical either way.
+    shards: int = 0
 
     def sim(self, **overrides) -> SimulationConfig:
         defaults = dict(n_events=self.n_events, scale=self.scale,
                         seed=self.seed, sanitize=self.sanitize,
-                        faults=self.faults)
+                        faults=self.faults, shards=self.shards)
         defaults.update(overrides)
         return SimulationConfig(**defaults)
 

@@ -27,7 +27,7 @@ HOT_PATH_DIRS = ("src/repro/core", "src/repro/memory", "src/repro/compression",
 DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/RUNNER.md",
         "docs/OBSERVABILITY.md", "docs/LINTING.md", "docs/ROBUSTNESS.md",
         "docs/KERNELS.md", "docs/RESULTS.md", "docs/PRESSURE.md",
-        "docs/FLOWCHECK.md")
+        "docs/FLOWCHECK.md", "docs/SHARDING.md")
 
 #: (module path, class name) pairs whose public fields must be named in
 #: the documentation set scanned by ``config-knob-documented``.
@@ -36,6 +36,7 @@ CONFIG_CLASSES = (
     ("src/repro/simulation/simulator.py", "SimulationConfig"),
     ("src/repro/analysis/experiments.py", "ExperimentScale"),
     ("src/repro/pressure/controller.py", "PressureConfig"),
+    ("src/repro/shard/supervisor.py", "ShardRunConfig"),
 )
 
 #: How many lines around a stats increment may hold its tracer call

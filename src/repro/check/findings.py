@@ -1,8121 +1,73 @@
-{
-  "boundaries": [
-    "repro.obs.tracer.Tracer.__init__",
-    "repro.runner.cache.ResultCache.put",
-    "repro.runner.journal.RunJournal.__init__",
-    "repro.runner.journal.RunJournal.event"
-  ],
-  "dispatch_roots": {
-    "repro.analysis.experiments._unit_ablation": "src/repro/analysis/experiments.py:847 via fn",
-    "repro.analysis.experiments._unit_fault_cell": "src/repro/analysis/experiments.py:893 via fn",
-    "repro.analysis.experiments._unit_fig10": "src/repro/analysis/experiments.py:537 via fn",
-    "repro.analysis.experiments._unit_fig11": "src/repro/analysis/experiments.py:618 via fn",
-    "repro.analysis.experiments._unit_fig12": "src/repro/analysis/experiments.py:686 via fn",
-    "repro.analysis.experiments._unit_fig2": "src/repro/analysis/experiments.py:219 via fn",
-    "repro.analysis.experiments._unit_fig4": "src/repro/analysis/experiments.py:277 via fn",
-    "repro.analysis.experiments._unit_fig6": "src/repro/analysis/experiments.py:347 via fn",
-    "repro.analysis.experiments._unit_fig7": "src/repro/analysis/experiments.py:399 via fn",
-    "repro.analysis.experiments._unit_fig9": "src/repro/analysis/experiments.py:466 via fn",
-    "repro.analysis.experiments._unit_pressure_cell": "src/repro/analysis/experiments.py:958 via fn",
-    "repro.analysis.experiments._unit_sec7": "src/repro/analysis/experiments.py:1026 via fn",
-    "repro.analysis.experiments._unit_tab2": "src/repro/analysis/experiments.py:758 via fn",
-    "repro.check.driver.lint_file_detail": "src/repro/check/driver.py:266 via starmap",
-    "repro.runner.executor._worker": "src/repro/runner/executor.py:219 via Process"
-  },
-  "functions": [
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 8,
-      "path": "src/repro/_util.py",
-      "qual": "repro._util.stable_seed"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 117,
-      "path": "src/repro/analysis/__main__.py",
-      "qual": "repro.analysis.__main__._invoke"
-    },
-    {
-      "calls": [
-        "repro.analysis.__main__._invoke",
-        "repro.analysis.report.render",
-        "repro.runner.executor.Runner.__init__"
-      ],
-      "dispatches": [],
-      "line": 408,
-      "path": "src/repro/analysis/__main__.py",
-      "qual": "repro.analysis.__main__._legacy_command"
-    },
-    {
-      "calls": [
-        "repro.check.driver.LintReport.render",
-        "repro.check.driver.repo_root",
-        "repro.check.driver.run_lint",
-        "repro.check.driver.write_baseline",
-        "repro.check.findings.to_sarif",
-        "repro.check.flow.rules.flow_rule_ids",
-        "repro.check.rules.all_rules"
-      ],
-      "dispatches": [],
-      "line": 337,
-      "path": "src/repro/analysis/__main__.py",
-      "qual": "repro.analysis.__main__._lint_command"
-    },
-    {
-      "calls": [
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.render",
-        "repro.inject.campaign.CellOutcome.as_row",
-        "repro.pressure.campaign.PressureCampaign.__init__",
-        "repro.pressure.campaign.PressureCampaign.run",
-        "repro.pressure.campaign.PressureCellOutcome.as_row",
-        "repro.pressure.campaign.parse_pressure_spec",
-        "repro.pressure.campaign.pressure_cell"
-      ],
-      "dispatches": [],
-      "line": 437,
-      "path": "src/repro/analysis/__main__.py",
-      "qual": "repro.analysis.__main__._pressure_command"
-    },
-    {
-      "calls": [
-        "repro.analysis.__main__._invoke",
-        "repro.analysis.report.render",
-        "repro.inject.faults.parse_fault_spec",
-        "repro.runner.cache.ResultCache.__init__",
-        "repro.runner.executor.Runner.__init__",
-        "repro.runner.executor.timing_table",
-        "repro.runner.journal.RunJournal.__init__",
-        "repro.runner.journal.RunJournal.event",
-        "repro.runner.journal.find_interrupted"
-      ],
-      "dispatches": [],
-      "line": 125,
-      "path": "src/repro/analysis/__main__.py",
-      "qual": "repro.analysis.__main__._run_command"
-    },
-    {
-      "calls": [
-        "repro.analysis.__main__._trace_command._suffixed",
-        "repro.analysis.experiments.ExperimentScale.sim",
-        "repro.obs.export.summary",
-        "repro.obs.export.timeline_csv",
-        "repro.obs.export.write_chrome_trace",
-        "repro.obs.timeline.build_timeline",
-        "repro.obs.tracer.Tracer.__init__",
-        "repro.simulation.simulator.simulate"
-      ],
-      "dispatches": [],
-      "line": 261,
-      "path": "src/repro/analysis/__main__.py",
-      "qual": "repro.analysis.__main__._trace_command"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 311,
-      "path": "src/repro/analysis/__main__.py",
-      "qual": "repro.analysis.__main__._trace_command._suffixed"
-    },
-    {
-      "calls": [
-        "repro.analysis.__main__._legacy_command",
-        "repro.analysis.__main__._lint_command",
-        "repro.analysis.__main__._pressure_command",
-        "repro.analysis.__main__._run_command",
-        "repro.analysis.__main__._trace_command",
-        "repro.analysis.bench.main",
-        "repro.results.cli.compare_main",
-        "repro.results.cli.index_main"
-      ],
-      "dispatches": [],
-      "line": 526,
-      "path": "src/repro/analysis/__main__.py",
-      "qual": "repro.analysis.__main__.main"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 68,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench._best_of"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 58,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench._checksum"
-    },
-    {
-      "calls": [
-        "repro.analysis.bench.validate_document"
-      ],
-      "dispatches": [],
-      "line": 227,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench._load_baseline"
-    },
-    {
-      "calls": [
-        "repro.analysis.bench._best_of",
-        "repro.analysis.bench._checksum",
-        "repro.compression.vector.batch.BatchCompressor.__init__",
-        "repro.compression.vector.batch.BatchCompressor.batch_compress",
-        "repro.compression.vector.batch.BatchCompressor.batch_size_bits"
-      ],
-      "dispatches": [],
-      "line": 78,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench.bench_algorithm"
-    },
-    {
-      "calls": [
-        "repro.analysis.bench.find_regressions.usable",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 167,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench.find_regressions"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 176,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench.find_regressions.usable"
-    },
-    {
-      "calls": [
-        "repro.analysis.bench._load_baseline",
-        "repro.analysis.bench.find_regressions",
-        "repro.analysis.bench.render_table",
-        "repro.analysis.bench.run_bench",
-        "repro.compression.vector.batch.vectorized_algorithms",
-        "repro.runner.cache.ResultCache.get",
-        "repro.runner.journal.RunJournal.__init__",
-        "repro.runner.journal.RunJournal.event"
-      ],
-      "dispatches": [],
-      "line": 240,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench.main"
-    },
-    {
-      "calls": [
-        "repro.workloads.datagen.make_line"
-      ],
-      "dispatches": [],
-      "line": 48,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench.make_corpus"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 209,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench.render_table"
-    },
-    {
-      "calls": [
-        "repro.analysis.bench.bench_algorithm",
-        "repro.analysis.bench.make_corpus",
-        "repro.compression.vector.batch.vectorized_algorithms"
-      ],
-      "dispatches": [],
-      "line": 113,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench.run_bench"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 134,
-      "path": "src/repro/analysis/bench.py",
-      "qual": "repro.analysis.bench.validate_document"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 98,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.ExperimentScale.sim"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc.BPCCompressor.__init__",
-        "repro.core.lcp.LCPPack.__init__"
-      ],
-      "dispatches": [],
-      "line": 157,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._fig2_combos"
-    },
-    {
-      "calls": [
-        "repro.compression.zero.is_zero_line",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 168,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._line_size"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 115,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._profiles"
-    },
-    {
-      "calls": [
-        "repro.runner.executor.Runner.__init__",
-        "repro.runner.executor.Runner.map"
-      ],
-      "dispatches": [],
-      "line": 119,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._run_units"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments.ExperimentScale.sim",
-        "repro.obs.tracer.Tracer.__init__",
-        "repro.simulation.simulator.simulate"
-      ],
-      "dispatches": [],
-      "line": 293,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._simulate_with_config"
-    },
-    {
-      "calls": [
-        "repro.core.stats.ControllerStats.metadata_hit_rate",
-        "repro.core.stats.ControllerStats.relative_extra_accesses"
-      ],
-      "dispatches": [],
-      "line": 132,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._stats_summary"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._line_size",
-        "repro.analysis.experiments._profiles",
-        "repro.analysis.experiments._simulate_with_config",
-        "repro.analysis.experiments._stats_summary",
-        "repro.compression.bpc.BPCCompressor.__init__",
-        "repro.core.config.compresso_config",
-        "repro.core.linepack.LinePack.pack",
-        "repro.core.linepack.split_access_fraction",
-        "repro.workloads.tracegen.Workload.__init__",
-        "repro.workloads.tracegen.Workload.page_lines"
-      ],
-      "dispatches": [],
-      "line": 788,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_ablation"
-    },
-    {
-      "calls": [
-        "repro.inject.campaign.CellOutcome.as_row",
-        "repro.inject.campaign.campaign_cell",
-        "repro.pressure.campaign.PressureCellOutcome.as_row"
-      ],
-      "dispatches": [],
-      "line": 865,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fault_cell"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments.ExperimentScale.sim",
-        "repro.analysis.experiments._stats_summary",
-        "repro.energy.model.EnergyModel.relative",
-        "repro.simulation.capacity.CapacityResult.relative",
-        "repro.simulation.capacity.capacity_impact",
-        "repro.simulation.simulator.simulate"
-      ],
-      "dispatches": [],
-      "line": 480,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fig10"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments.ExperimentScale.sim",
-        "repro.analysis.experiments._stats_summary",
-        "repro.energy.model.EnergyModel.relative",
-        "repro.simulation.capacity.CapacityResult.relative",
-        "repro.simulation.capacity.multicore_capacity_impact",
-        "repro.simulation.multicore.simulate_multicore",
-        "repro.workloads.mixes.mix_profiles"
-      ],
-      "dispatches": [],
-      "line": 562,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fig11"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments.ExperimentScale.sim",
-        "repro.analysis.experiments._stats_summary",
-        "repro.energy.model.EnergyModel.__init__",
-        "repro.energy.model.EnergyModel.evaluate",
-        "repro.energy.model.EnergyModel.relative",
-        "repro.simulation.simulator.simulate"
-      ],
-      "dispatches": [],
-      "line": 641,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fig12"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._fig2_combos",
-        "repro.analysis.experiments._line_size",
-        "repro.core.lcp.LCPPack.pack",
-        "repro.core.linepack.LinePack.pack",
-        "repro.core.packing.PackingScheme.pack",
-        "repro.workloads.tracegen.Workload.__init__",
-        "repro.workloads.tracegen.Workload.page_lines"
-      ],
-      "dispatches": [],
-      "line": 178,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fig2"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._simulate_with_config",
-        "repro.analysis.experiments._stats_summary",
-        "repro.core.stats.ControllerStats.breakdown",
-        "repro.core.stats.ControllerStats.relative_extra_accesses",
-        "repro.simulation.configs.chunk_vs_variable_configs"
-      ],
-      "dispatches": [],
-      "line": 236,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fig4"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._simulate_with_config",
-        "repro.analysis.experiments._stats_summary",
-        "repro.core.stats.ControllerStats.relative_extra_accesses",
-        "repro.simulation.configs.optimization_ladder"
-      ],
-      "dispatches": [],
-      "line": 309,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fig6"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._simulate_with_config",
-        "repro.analysis.experiments._stats_summary",
-        "repro.core.config.compresso_config"
-      ],
-      "dispatches": [],
-      "line": 363,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fig7"
-    },
-    {
-      "calls": [
-        "repro.analysis.report.arithmetic_mean",
-        "repro.simulation.compresspoints.PointSelection.estimate_ratio",
-        "repro.simulation.compresspoints.profile_intervals",
-        "repro.simulation.compresspoints.representativeness_error",
-        "repro.simulation.compresspoints.select_points"
-      ],
-      "dispatches": [],
-      "line": 414,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_fig9"
-    },
-    {
-      "calls": [
-        "repro.inject.campaign.CellOutcome.as_row",
-        "repro.pressure.campaign.PressureCellOutcome.as_row",
-        "repro.pressure.campaign.pressure_cell"
-      ],
-      "dispatches": [],
-      "line": 916,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_pressure_cell"
-    },
-    {
-      "calls": [
-        "repro.energy.area.AdderModel.visible_cycles",
-        "repro.energy.area.offset_adder_for_bins",
-        "repro.energy.model.EnergyConstants.sanity_fractions"
-      ],
-      "dispatches": [],
-      "line": 985,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_sec7"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments.ExperimentScale.sim",
-        "repro.analysis.experiments._stats_summary",
-        "repro.energy.model.EnergyModel.relative",
-        "repro.simulation.capacity.CapacityResult.relative",
-        "repro.simulation.capacity.capacity_impact",
-        "repro.simulation.simulator.simulate"
-      ],
-      "dispatches": [],
-      "line": 702,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments._unit_tab2"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_ablation",
-        "repro.analysis.report.ExperimentResult.add_row"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_ablation"
-      ],
-      "line": 833,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_ablation_design_space"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fault_cell",
-        "repro.analysis.report.ExperimentResult.add_row"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fault_cell"
-      ],
-      "line": 876,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_faults"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fig10",
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.arithmetic_mean",
-        "repro.analysis.report.geometric_mean",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fig10"
-      ],
-      "line": 516,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_fig10"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fig11",
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.arithmetic_mean",
-        "repro.analysis.report.geometric_mean"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fig11"
-      ],
-      "line": 600,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_fig11"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fig12",
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.ExperimentResult.column_values",
-        "repro.analysis.report.arithmetic_mean"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fig12"
-      ],
-      "line": 672,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_fig12"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._fig2_combos",
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fig2",
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.ExperimentResult.column_values",
-        "repro.analysis.report.arithmetic_mean"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fig2"
-      ],
-      "line": 204,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_fig2"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fig4",
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.ExperimentResult.column_values",
-        "repro.analysis.report.arithmetic_mean"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fig4"
-      ],
-      "line": 266,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_fig4"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fig6",
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.ExperimentResult.column_values",
-        "repro.analysis.report.arithmetic_mean",
-        "repro.simulation.configs.optimization_ladder"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fig6"
-      ],
-      "line": 334,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_fig6"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fig7",
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.ExperimentResult.column_values",
-        "repro.analysis.report.arithmetic_mean"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fig7"
-      ],
-      "line": 389,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_fig7"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_fig9",
-        "repro.analysis.report.ExperimentResult.add_row"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_fig9"
-      ],
-      "line": 452,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_fig9"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_pressure_cell",
-        "repro.analysis.report.ExperimentResult.add_row"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_pressure_cell"
-      ],
-      "line": 937,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_pressure"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_sec7",
-        "repro.analysis.report.ExperimentResult.add_row"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_sec7"
-      ],
-      "line": 1011,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_sec7_energy_area"
-    },
-    {
-      "calls": [
-        "repro.analysis.experiments._run_units",
-        "repro.analysis.experiments._unit_tab2",
-        "repro.analysis.report.ExperimentResult.add_row",
-        "repro.analysis.report.arithmetic_mean"
-      ],
-      "dispatches": [
-        "repro.analysis.experiments._unit_tab2"
-      ],
-      "line": 741,
-      "path": "src/repro/analysis/experiments.py",
-      "qual": "repro.analysis.experiments.run_tab2"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 38,
-      "path": "src/repro/analysis/export.py",
-      "qual": "repro.analysis.export.to_csv"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 20,
-      "path": "src/repro/analysis/export.py",
-      "qual": "repro.analysis.export.to_json"
-    },
-    {
-      "calls": [
-        "repro.analysis.export.to_csv",
-        "repro.analysis.export.to_json"
-      ],
-      "dispatches": [],
-      "line": 49,
-      "path": "src/repro/analysis/export.py",
-      "qual": "repro.analysis.export.write_result"
-    },
-    {
-      "calls": [
-        "repro.analysis.export.write_result"
-      ],
-      "dispatches": [],
-      "line": 64,
-      "path": "src/repro/analysis/export.py",
-      "qual": "repro.analysis.export.write_results"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 27,
-      "path": "src/repro/analysis/report.py",
-      "qual": "repro.analysis.report.ExperimentResult.add_row"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 30,
-      "path": "src/repro/analysis/report.py",
-      "qual": "repro.analysis.report.ExperimentResult.column_values"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 35,
-      "path": "src/repro/analysis/report.py",
-      "qual": "repro.analysis.report._format"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 80,
-      "path": "src/repro/analysis/report.py",
-      "qual": "repro.analysis.report.arithmetic_mean"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 71,
-      "path": "src/repro/analysis/report.py",
-      "qual": "repro.analysis.report.geometric_mean"
-    },
-    {
-      "calls": [
-        "repro.analysis.report._format",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 41,
-      "path": "src/repro/analysis/report.py",
-      "qual": "repro.analysis.report.render"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 37,
-      "path": "src/repro/cache/cache.py",
-      "qual": "repro.cache.cache.Cache.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 49,
-      "path": "src/repro/cache/cache.py",
-      "qual": "repro.cache.cache.Cache._locate"
-    },
-    {
-      "calls": [
-        "repro.cache.cache.Cache._locate"
-      ],
-      "dispatches": [],
-      "line": 53,
-      "path": "src/repro/cache/cache.py",
-      "qual": "repro.cache.cache.Cache.access"
-    },
-    {
-      "calls": [
-        "repro.cache.cache.Cache._locate"
-      ],
-      "dispatches": [],
-      "line": 82,
-      "path": "src/repro/cache/cache.py",
-      "qual": "repro.cache.cache.Cache.contains"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.clear"
-      ],
-      "dispatches": [],
-      "line": 86,
-      "path": "src/repro/cache/cache.py",
-      "qual": "repro.cache.cache.Cache.flush"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 24,
-      "path": "src/repro/cache/cache.py",
-      "qual": "repro.cache.cache.CacheStats.accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 27,
-      "path": "src/repro/cache/cache.py",
-      "qual": "repro.cache.cache.CacheStats.hit_rate"
-    },
-    {
-      "calls": [
-        "repro.cache.cache.CacheStats.hit_rate"
-      ],
-      "dispatches": [],
-      "line": 30,
-      "path": "src/repro/cache/cache.py",
-      "qual": "repro.cache.cache.CacheStats.miss_rate"
-    },
-    {
-      "calls": [
-        "repro.cache.cache.Cache.__init__"
-      ],
-      "dispatches": [],
-      "line": 43,
-      "path": "src/repro/cache/hierarchy.py",
-      "qual": "repro.cache.hierarchy.CacheHierarchy.__init__"
-    },
-    {
-      "calls": [
-        "repro.cache.cache.Cache.access",
-        "repro.cache.hierarchy.CacheHierarchy._spill"
-      ],
-      "dispatches": [],
-      "line": 69,
-      "path": "src/repro/cache/hierarchy.py",
-      "qual": "repro.cache.hierarchy.CacheHierarchy._spill"
-    },
-    {
-      "calls": [
-        "repro.cache.cache.Cache.access",
-        "repro.cache.hierarchy.CacheHierarchy._spill",
-        "repro.cache.hierarchy.CacheHierarchy.access",
-        "repro.core.metadata_cache.MetadataCache.access",
-        "repro.memory.dram.DDR4Channel.access",
-        "repro.memory.dram.DRAMSystem.access"
-      ],
-      "dispatches": [],
-      "line": 51,
-      "path": "src/repro/cache/hierarchy.py",
-      "qual": "repro.cache.hierarchy.CacheHierarchy.access"
-    },
-    {
-      "calls": [
-        "repro.cache.cache.Cache.flush",
-        "repro.cache.hierarchy.CacheHierarchy._spill",
-        "repro.cache.hierarchy.CacheHierarchy.flush",
-        "repro.core.metadata_cache.MetadataCache.flush"
-      ],
-      "dispatches": [],
-      "line": 80,
-      "path": "src/repro/cache/hierarchy.py",
-      "qual": "repro.cache.hierarchy.CacheHierarchy.flush"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 93,
-      "path": "src/repro/cache/hierarchy.py",
-      "qual": "repro.cache.hierarchy.CacheHierarchy.stats"
-    },
-    {
-      "calls": [
-        "repro.check.rules.dotted_name"
-      ],
-      "dispatches": [],
-      "line": 298,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.BareExceptRule._broad"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 303,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.BareExceptRule._swallows"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 279,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.BareExceptRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.builtin_rules.BareExceptRule._broad",
-        "repro.check.builtin_rules.BareExceptRule._swallows",
-        "repro.check.rules.ModuleSource.finding",
-        "repro.check.rules.dotted_name"
-      ],
-      "dispatches": [],
-      "line": 282,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.BareExceptRule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 550,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.ConfigKnobDocumentedRule._docs_text"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 561,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.ConfigKnobDocumentedRule._field_lines"
-    },
-    {
-      "calls": [
-        "repro.check.builtin_rules.ConfigKnobDocumentedRule._docs_text",
-        "repro.check.builtin_rules.ConfigKnobDocumentedRule._field_lines"
-      ],
-      "dispatches": [],
-      "line": 534,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.ConfigKnobDocumentedRule.check_project"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 370,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.DegradedTransitionTracedRule._mutates_state"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 367,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.DegradedTransitionTracedRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.builtin_rules.DegradedTransitionTracedRule._mutates_state",
-        "repro.check.rules.ModuleSource.finding"
-      ],
-      "dispatches": [],
-      "line": 383,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.DegradedTransitionTracedRule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 458,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.DocLinksRule.check_project"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 118,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.EmitRegisteredRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.finding"
-      ],
-      "dispatches": [],
-      "line": 121,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.EmitRegisteredRule.check"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 199,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.HotPathWallClockRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.finding",
-        "repro.check.rules.dotted_name"
-      ],
-      "dispatches": [],
-      "line": 202,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.HotPathWallClockRule.check"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 154,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.JournalEventRegisteredRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.finding"
-      ],
-      "dispatches": [],
-      "line": 157,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.JournalEventRegisteredRule.check"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 59,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.ModuleDocstringRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.finding"
-      ],
-      "dispatches": [],
-      "line": 62,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.ModuleDocstringRule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 250,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.MutableDefaultRule._is_mutable"
-    },
-    {
-      "calls": [
-        "repro.check.builtin_rules.MutableDefaultRule._is_mutable",
-        "repro.check.rules.ModuleSource.finding"
-      ],
-      "dispatches": [],
-      "line": 235,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.MutableDefaultRule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 500,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.PackageDocLinkRule.check_project"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 326,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.RecoveryTracedRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.finding"
-      ],
-      "dispatches": [],
-      "line": 329,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.RecoveryTracedRule.check"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 82,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.StatsEmitRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.finding",
-        "repro.check.rules.dotted_name"
-      ],
-      "dispatches": [],
-      "line": 85,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.StatsEmitRule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 441,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.StatsFieldExistsRule._known_attrs"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.in_dirs"
-      ],
-      "dispatches": [],
-      "line": 419,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.StatsFieldExistsRule.applies_to"
-    },
-    {
-      "calls": [
-        "repro.check.builtin_rules.StatsFieldExistsRule._known_attrs",
-        "repro.check.rules.ModuleSource.finding"
-      ],
-      "dispatches": [],
-      "line": 422,
-      "path": "src/repro/check/builtin_rules.py",
-      "qual": "repro.check.builtin_rules.StatsFieldExistsRule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 71,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.LintReport.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 80,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.LintReport.errors"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 89,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.LintReport.exit_code"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 84,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.LintReport.ok"
-    },
-    {
-      "calls": [
-        "repro.check.findings.format_finding"
-      ],
-      "dispatches": [],
-      "line": 92,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.LintReport.render"
-    },
-    {
-      "calls": [
-        "repro.check.driver._baseline_key",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 179,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver._apply_baseline"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 174,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver._baseline_key"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.__init__"
-      ],
-      "dispatches": [],
-      "line": 327,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver._module_for"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 211,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver._stale_suppression_findings"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 57,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.discover_files"
-    },
-    {
-      "calls": [
-        "repro.check.driver.lint_file_detail"
-      ],
-      "dispatches": [],
-      "line": 151,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.lint_file"
-    },
-    {
-      "calls": [
-        "repro.check.rules.ModuleSource.__init__",
-        "repro.check.rules.ModuleSource.suppressed",
-        "repro.check.rules.get_rule"
-      ],
-      "dispatches": [],
-      "line": 116,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.lint_file_detail"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 158,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.load_baseline"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 48,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.repo_root"
-    },
-    {
-      "calls": [
-        "repro.check.builtin_rules.ConfigKnobDocumentedRule.check_project",
-        "repro.check.builtin_rules.DocLinksRule.check_project",
-        "repro.check.builtin_rules.PackageDocLinkRule.check_project",
-        "repro.check.driver.LintReport.__init__",
-        "repro.check.driver._apply_baseline",
-        "repro.check.driver._module_for",
-        "repro.check.driver._stale_suppression_findings",
-        "repro.check.driver.discover_files",
-        "repro.check.driver.lint_file_detail",
-        "repro.check.driver.load_baseline",
-        "repro.check.driver.repo_root",
-        "repro.check.flow.engine.FlowProgram.__init__",
-        "repro.check.flow.engine.FlowProgram.dump_callgraph",
-        "repro.check.flow.engine.FlowProgram.unconsumed_annotations",
-        "repro.check.flow.rules.DeterminismTaintRule.check_flow",
-        "repro.check.flow.rules.ExceptionEscapeRule.check_flow",
-        "repro.check.flow.rules.FlowRule.check_flow",
-        "repro.check.flow.rules.SharedStateRaceRule.check_flow",
-        "repro.check.rules.ModuleSource.suppressed",
-        "repro.check.rules.ProjectRule.check_project",
-        "repro.check.rules.all_rules",
-        "repro.check.rules.get_rule"
-      ],
-      "dispatches": [
-        "repro.check.driver.lint_file_detail"
-      ],
-      "line": 240,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.run_lint"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 166,
-      "path": "src/repro/check/driver.py",
-      "qual": "repro.check.driver.write_baseline"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 29,
-      "path": "src/repro/check/findings.py",
-      "qual": "repro.check.findings.Finding.__post_init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 34,
-      "path": "src/repro/check/findings.py",
-      "qual": "repro.check.findings.format_finding"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 40,
-      "path": "src/repro/check/findings.py",
-      "qual": "repro.check.findings.to_sarif"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer.__init__",
-        "repro.check.flow.callgraph._FunctionAnalyzer.run"
-      ],
-      "dispatches": [],
-      "line": 149,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph.CallGraph.__init__"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph.CallGraph.callees",
-        "repro.check.flow.callgraph.FunctionFacts.callees",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 156,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph.CallGraph.callees"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph.CallGraph.callees",
-        "repro.check.flow.callgraph.FunctionFacts.callees"
-      ],
-      "dispatches": [],
-      "line": 160,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph.CallGraph.dump"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 138,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph.FunctionFacts.callees"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 184,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer.__init__"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 609,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._callee_params"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._callee_params",
-        "repro.check.flow.callgraph._FunctionAnalyzer._record_dispatch_arg"
-      ],
-      "dispatches": [],
-      "line": 577,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._check_dispatch"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._shared_owner"
-      ],
-      "dispatches": [],
-      "line": 539,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._check_mutator_call"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 454,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._check_ordering_key"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 480,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._check_set_iteration"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._check_write_target",
-        "repro.check.flow.callgraph._FunctionAnalyzer._shared_owner",
-        "repro.check.flow.callgraph._FunctionAnalyzer._type_of",
-        "repro.check.flow.symbols._dotted",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 506,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._check_write_target"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._check_mutator_call",
-        "repro.check.flow.callgraph._FunctionAnalyzer._check_write_target"
-      ],
-      "dispatches": [],
-      "line": 494,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._check_writes"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._maybe_type_local",
-        "repro.check.flow.callgraph._pruned_walk"
-      ],
-      "dispatches": [],
-      "line": 216,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._collect_locals"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._resolve",
-        "repro.check.flow.symbols._annotation_names"
-      ],
-      "dispatches": [],
-      "line": 204,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._collect_param_types"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._check_dispatch",
-        "repro.check.flow.callgraph._FunctionAnalyzer._check_ordering_key",
-        "repro.check.flow.callgraph._FunctionAnalyzer._resolve_call"
-      ],
-      "dispatches": [],
-      "line": 369,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._handle_call"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.canonicalize",
-        "repro.check.flow.symbols.SymbolTable.resolve",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 350,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._handle_name_ref"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols._dotted"
-      ],
-      "dispatches": [],
-      "line": 308,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._handler_names"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._resolve",
-        "repro.check.flow.symbols._dotted"
-      ],
-      "dispatches": [],
-      "line": 237,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._maybe_type_local"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.canonicalize",
-        "repro.check.flow.symbols.SymbolTable.resolve",
-        "repro.check.flow.symbols._dotted"
-      ],
-      "dispatches": [],
-      "line": 623,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._record_dispatch_arg"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._covered",
-        "repro.check.flow.symbols._dotted"
-      ],
-      "dispatches": [],
-      "line": 320,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._record_raise"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.canonicalize",
-        "repro.check.flow.symbols.SymbolTable.resolve"
-      ],
-      "dispatches": [],
-      "line": 446,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._resolve"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._type_of",
-        "repro.check.flow.symbols.SymbolTable.canonicalize",
-        "repro.check.flow.symbols.SymbolTable.resolve",
-        "repro.check.flow.symbols.SymbolTable.resolve_method",
-        "repro.check.flow.symbols._dotted",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 378,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._resolve_call"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.canonicalize",
-        "repro.check.flow.symbols.SymbolTable.resolve",
-        "repro.check.flow.symbols._dotted"
-      ],
-      "dispatches": [],
-      "line": 550,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._shared_owner"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._resolve",
-        "repro.check.flow.callgraph._FunctionAnalyzer._type_of",
-        "repro.check.flow.symbols.SymbolTable.mro",
-        "repro.check.flow.symbols._dotted",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 424,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._type_of"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._visit_stmt"
-      ],
-      "dispatches": [],
-      "line": 249,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._visit_block"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._handle_call",
-        "repro.check.flow.callgraph._FunctionAnalyzer._handle_name_ref",
-        "repro.check.flow.callgraph._pruned_walk"
-      ],
-      "dispatches": [],
-      "line": 340,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._visit_expr_tree"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._check_set_iteration",
-        "repro.check.flow.callgraph._FunctionAnalyzer._check_writes",
-        "repro.check.flow.callgraph._FunctionAnalyzer._handler_names",
-        "repro.check.flow.callgraph._FunctionAnalyzer._record_raise",
-        "repro.check.flow.callgraph._FunctionAnalyzer._visit_block",
-        "repro.check.flow.callgraph._FunctionAnalyzer._visit_expr_tree"
-      ],
-      "dispatches": [],
-      "line": 254,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer._visit_stmt"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer._collect_locals",
-        "repro.check.flow.callgraph._FunctionAnalyzer._collect_param_types",
-        "repro.check.flow.callgraph._FunctionAnalyzer._visit_block"
-      ],
-      "dispatches": [],
-      "line": 197,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._FunctionAnalyzer.run"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 648,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._covered"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 655,
-      "path": "src/repro/check/flow/callgraph.py",
-      "qual": "repro.check.flow.callgraph._pruned_walk"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph.CallGraph.__init__",
-        "repro.check.flow.symbols.SymbolTable.build"
-      ],
-      "dispatches": [],
-      "line": 33,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.__init__"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.annotation_at"
-      ],
-      "dispatches": [],
-      "line": 42,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.boundaries"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 139,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.dispatch_roots"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph.CallGraph.dump",
-        "repro.check.flow.engine.FlowProgram.dispatch_roots"
-      ],
-      "dispatches": [],
-      "line": 181,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.dump_callgraph"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph.CallGraph.callees",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 57,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.propagate"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._covered",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 107,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.raises_fixpoint"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph.CallGraph.callees"
-      ],
-      "dispatches": [],
-      "line": 150,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.reachable_from"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 168,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.unconsumed_annotations"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph.CallGraph.callees",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 82,
-      "path": "src/repro/check/flow/engine.py",
-      "qual": "repro.check.flow.engine.FlowProgram.witness_path"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 160,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.DeterminismTaintRule._own_sinks"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 134,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.DeterminismTaintRule._own_sources"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph.CallGraph.callees",
-        "repro.check.flow.engine.FlowProgram.propagate",
-        "repro.check.flow.engine.FlowProgram.witness_path",
-        "repro.check.flow.rules.DeterminismTaintRule._own_sinks",
-        "repro.check.flow.rules.DeterminismTaintRule._own_sources",
-        "repro.check.flow.rules._short",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 104,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.DeterminismTaintRule.check_flow"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._covered",
-        "repro.check.flow.engine.FlowProgram.raises_fixpoint",
-        "repro.check.flow.rules._short",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 289,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.ExceptionEscapeRule.check_flow"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 80,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.FlowRule.applies_to"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 83,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.FlowRule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 86,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.FlowRule.check_flow"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 204,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.SharedStateRaceRule._trusted_sites"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.annotation_at"
-      ],
-      "dispatches": [],
-      "line": 257,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.SharedStateRaceRule._waived"
-    },
-    {
-      "calls": [
-        "repro.check.flow.engine.FlowProgram.reachable_from",
-        "repro.check.flow.rules.SharedStateRaceRule._trusted_sites",
-        "repro.check.flow.rules.SharedStateRaceRule._waived",
-        "repro.check.flow.rules._short",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 213,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.SharedStateRaceRule.check_flow"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 90,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules._short"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 331,
-      "path": "src/repro/check/flow/rules.py",
-      "qual": "repro.check.flow.rules.flow_rule_ids"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 151,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable.__init__"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable._add_function",
-        "repro.check.flow.symbols._annotation_names",
-        "repro.check.flow.symbols._dotted"
-      ],
-      "dispatches": [],
-      "line": 275,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._add_class"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable._collect_annotations",
-        "repro.check.flow.symbols.SymbolTable._collect_definitions",
-        "repro.check.flow.symbols.SymbolTable._collect_imports",
-        "repro.check.flow.symbols.module_name"
-      ],
-      "dispatches": [],
-      "line": 172,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._add_file"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 246,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._add_function"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols._is_mutable_value"
-      ],
-      "dispatches": [],
-      "line": 300,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._add_global"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.comment_tokens"
-      ],
-      "dispatches": [],
-      "line": 191,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._collect_annotations"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable._add_class",
-        "repro.check.flow.symbols.SymbolTable._add_function",
-        "repro.check.flow.symbols.SymbolTable._add_global"
-      ],
-      "dispatches": [],
-      "line": 235,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._collect_definitions"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable._import_base"
-      ],
-      "dispatches": [],
-      "line": 200,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._collect_imports"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable._infer_init_attr_types",
-        "repro.check.flow.symbols.SymbolTable.canonicalize",
-        "repro.check.flow.symbols.SymbolTable.resolve"
-      ],
-      "dispatches": [],
-      "line": 316,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._finalize"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 219,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._import_base"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.canonicalize",
-        "repro.check.flow.symbols.SymbolTable.resolve",
-        "repro.check.flow.symbols._annotation_names",
-        "repro.check.flow.symbols._dotted",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 345,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable._infer_init_attr_types"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 446,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable.all_subclasses"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 477,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable.annotation_at"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable._add_file",
-        "repro.check.flow.symbols.SymbolTable._finalize"
-      ],
-      "dispatches": [],
-      "line": 165,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable.build"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.canonicalize",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 406,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable.canonicalize"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 434,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable.mro"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 385,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable.resolve"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.SymbolTable.all_subclasses",
-        "repro.check.flow.symbols.SymbolTable.mro"
-      ],
-      "dispatches": [],
-      "line": 456,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.SymbolTable.resolve_method"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols._annotation_names",
-        "repro.check.flow.symbols._dotted"
-      ],
-      "dispatches": [],
-      "line": 500,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols._annotation_names"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 489,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols._dotted"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols._dotted"
-      ],
-      "dispatches": [],
-      "line": 522,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols._is_mutable_value"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 43,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.comment_tokens"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 136,
-      "path": "src/repro/check/flow/symbols.py",
-      "qual": "repro.check.flow.symbols.module_name"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 56,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ModuleSource.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 118,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ModuleSource.finding"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 113,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ModuleSource.in_dirs"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 109,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ModuleSource.suppressed"
-    },
-    {
-      "calls": [
-        "repro.check.flow.symbols.comment_tokens",
-        "repro.check.rules.SuppressionComment.__init__"
-      ],
-      "dispatches": [],
-      "line": 74,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ModuleSource.suppression_comments"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 93,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ModuleSource.suppressions"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 67,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ModuleSource.tree"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 148,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ProjectRule.applies_to"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 151,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ProjectRule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 155,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.ProjectRule.check_project"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 134,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.Rule.applies_to"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 139,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.Rule.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 42,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.SuppressionComment.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.SuppressionComment.covered_lines"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 189,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules._ensure_builtins"
-    },
-    {
-      "calls": [
-        "repro.check.rules._ensure_builtins"
-      ],
-      "dispatches": [],
-      "line": 173,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.all_rules"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 202,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.dotted_name"
-    },
-    {
-      "calls": [
-        "repro.check.rules._ensure_builtins"
-      ],
-      "dispatches": [],
-      "line": 179,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.get_rule"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 162,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.register"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 195,
-      "path": "src/repro/check/rules.py",
-      "qual": "repro.check.rules.walk_calls"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 61,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.InvariantViolation.__str__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 75,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer.__init__"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._report",
-        "repro.memory.allocator.ChunkAllocator.owned_chunks"
-      ],
-      "dispatches": [],
-      "line": 285,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer._check_chunk_ownership"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._report",
-        "repro.compression.base.CompressedLine.size_bytes",
-        "repro.core.controller._SizeCache.size_bytes"
-      ],
-      "dispatches": [],
-      "line": 128,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer._check_data"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._report",
-        "repro.core.lcp.LCPPack.layout_from_bins",
-        "repro.core.linepack.LinePack.layout_from_bins",
-        "repro.core.packing.PackingScheme.layout_from_bins"
-      ],
-      "dispatches": [],
-      "line": 192,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer._check_layout"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._report"
-      ],
-      "dispatches": [],
-      "line": 146,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer._check_metadata"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._report",
-        "repro.memory.allocator.VariableAllocator.owned_regions"
-      ],
-      "dispatches": [],
-      "line": 307,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer._check_region_ownership"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._report"
-      ],
-      "dispatches": [],
-      "line": 262,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer._check_uncompressed"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 374,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer._report"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer.check_allocator",
-        "repro.check.sanitizer.MemorySanitizer.check_metadata_cache",
-        "repro.check.sanitizer.MemorySanitizer.check_page",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 85,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer.after_op"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer.check_allocator",
-        "repro.check.sanitizer.MemorySanitizer.check_allocator_books",
-        "repro.check.sanitizer.MemorySanitizer.check_metadata_cache",
-        "repro.check.sanitizer.MemorySanitizer.check_page"
-      ],
-      "dispatches": [],
-      "line": 95,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer.check_all"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._check_chunk_ownership",
-        "repro.check.sanitizer.MemorySanitizer._check_region_ownership"
-      ],
-      "dispatches": [],
-      "line": 279,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer.check_allocator"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._report",
-        "repro.memory.allocator.ChunkAllocator.check_books",
-        "repro.memory.allocator.VariableAllocator.check_books"
-      ],
-      "dispatches": [],
-      "line": 363,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer.check_allocator_books"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._report",
-        "repro.core.metadata_cache.MetadataCache.entry_items",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 341,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer.check_metadata_cache"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer._check_data",
-        "repro.check.sanitizer.MemorySanitizer._check_layout",
-        "repro.check.sanitizer.MemorySanitizer._check_metadata",
-        "repro.check.sanitizer.MemorySanitizer._check_uncompressed",
-        "repro.check.sanitizer.MemorySanitizer._report"
-      ],
-      "dispatches": [],
-      "line": 110,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer.check_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 105,
-      "path": "src/repro/check/sanitizer.py",
-      "qual": "repro.check.sanitizer.MemorySanitizer.violation_count"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 44,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.CompressedLine.ratio"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 39,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.CompressedLine.size_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 57,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.Compressor.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 86,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.Compressor._check_input"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 92,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.Compressor._check_line"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor.compress",
-        "repro.compression.bdi.BDICompressor.compress",
-        "repro.compression.bpc.BPCCompressor.compress",
-        "repro.compression.cpack.CPackCompressor.compress",
-        "repro.compression.fpc.FPCCompressor.compress",
-        "repro.compression.lz.LZCompressor.compress",
-        "repro.compression.selector.BestOfCompressor.compress",
-        "repro.compression.zero.ZeroCompressor.compress"
-      ],
-      "dispatches": [],
-      "line": 70,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.Compressor.batch_compress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.Compressor.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor.compress",
-        "repro.compression.bdi.BDICompressor.compress",
-        "repro.compression.bpc.BPCCompressor.compress",
-        "repro.compression.cpack.CPackCompressor.compress",
-        "repro.compression.fpc.FPCCompressor.compress",
-        "repro.compression.lz.LZCompressor.compress",
-        "repro.compression.selector.BestOfCompressor.compress",
-        "repro.compression.zero.ZeroCompressor.compress"
-      ],
-      "dispatches": [],
-      "line": 79,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.Compressor.compressed_size_bits"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor.compress",
-        "repro.compression.bdi.BDICompressor.compress",
-        "repro.compression.bpc.BPCCompressor.compress",
-        "repro.compression.cpack.CPackCompressor.compress",
-        "repro.compression.fpc.FPCCompressor.compress",
-        "repro.compression.lz.LZCompressor.compress",
-        "repro.compression.selector.BestOfCompressor.compress",
-        "repro.compression.zero.ZeroCompressor.compress"
-      ],
-      "dispatches": [],
-      "line": 83,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.Compressor.compressed_size_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 67,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.Compressor.decompress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 107,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.bytes_of"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 99,
-      "path": "src/repro/compression/base.py",
-      "qual": "repro.compression.base.words_of"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.to_bits"
-      ],
-      "dispatches": [],
-      "line": 144,
-      "path": "src/repro/compression/bdi.py",
-      "qual": "repro.compression.bdi.BDICompressor._finish"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 133,
-      "path": "src/repro/compression/bdi.py",
-      "qual": "repro.compression.bdi.BDICompressor._payload_bits"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 138,
-      "path": "src/repro/compression/bdi.py",
-      "qual": "repro.compression.bdi.BDICompressor._repeated_value"
-    },
-    {
-      "calls": [
-        "repro.compression.base.words_of",
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.bitstream.fits_signed",
-        "repro.compression.bitstream.to_twos_complement"
-      ],
-      "dispatches": [],
-      "line": 112,
-      "path": "src/repro/compression/bdi.py",
-      "qual": "repro.compression.bdi.BDICompressor._try_encoding"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_input",
-        "repro.compression.bdi.BDICompressor._finish",
-        "repro.compression.bdi.BDICompressor._payload_bits",
-        "repro.compression.bdi.BDICompressor._repeated_value",
-        "repro.compression.bdi.BDICompressor._try_encoding",
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.zero.is_zero_line"
-      ],
-      "dispatches": [],
-      "line": 62,
-      "path": "src/repro/compression/bdi.py",
-      "qual": "repro.compression.bdi.BDICompressor.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_line",
-        "repro.compression.base.bytes_of",
-        "repro.compression.bitstream.BitReader.__init__",
-        "repro.compression.bitstream.BitReader.read",
-        "repro.compression.bitstream.BitWriter.to_bytes",
-        "repro.compression.bitstream.sign_extend"
-      ],
-      "dispatches": [],
-      "line": 90,
-      "path": "src/repro/compression/bdi.py",
-      "qual": "repro.compression.bdi.BDICompressor.decompress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 36,
-      "path": "src/repro/compression/bdi.py",
-      "qual": "repro.compression.bdi._Encoding.name"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 73,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.BitReader.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 78,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.BitReader.read"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 92,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.BitReader.remaining"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 16,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.BitWriter.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 30,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.BitWriter.bit_length"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.Bits.__init__"
-      ],
-      "dispatches": [],
-      "line": 40,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.BitWriter.to_bits"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 34,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.BitWriter.to_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 20,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.BitWriter.write"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 56,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.Bits.__eq__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.Bits.__hash__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 49,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.Bits.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 53,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.Bits.__len__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 66,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.Bits.__repr__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 111,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.fits_signed"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 96,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.sign_extend"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 102,
-      "path": "src/repro/compression/bitstream.py",
-      "qual": "repro.compression.bitstream.to_twos_complement"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc._PlaneCoder.__init__"
-      ],
-      "dispatches": [],
-      "line": 217,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc.BPCCompressor.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.bpc.BPCCompressor._encode_base",
-        "repro.compression.bpc._PlaneCoder.encode"
-      ],
-      "dispatches": [],
-      "line": 269,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc.BPCCompressor._compress_delta"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.bpc._PlaneCoder.encode"
-      ],
-      "dispatches": [],
-      "line": 282,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc.BPCCompressor._compress_plain"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitReader.read",
-        "repro.compression.bitstream.sign_extend"
-      ],
-      "dispatches": [],
-      "line": 309,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc.BPCCompressor._decode_base"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.bitstream.sign_extend"
-      ],
-      "dispatches": [],
-      "line": 291,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc.BPCCompressor._encode_base"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_input",
-        "repro.compression.base.words_of",
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.to_bits",
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.bpc.BPCCompressor._compress_delta",
-        "repro.compression.bpc.BPCCompressor._compress_plain"
-      ],
-      "dispatches": [],
-      "line": 226,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc.BPCCompressor.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_line",
-        "repro.compression.base.bytes_of",
-        "repro.compression.bitstream.BitReader.__init__",
-        "repro.compression.bitstream.BitReader.read",
-        "repro.compression.bitstream.sign_extend",
-        "repro.compression.bpc.BPCCompressor._decode_base",
-        "repro.compression.bpc._PlaneCoder.decode"
-      ],
-      "dispatches": [],
-      "line": 248,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc.BPCCompressor.decompress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 104,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneCoder.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitReader.read"
-      ],
-      "dispatches": [],
-      "line": 167,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneCoder._decode_plane"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.bpc._PlaneCoder._single_one_position",
-        "repro.compression.bpc._PlaneCoder._two_consecutive_ones_position"
-      ],
-      "dispatches": [],
-      "line": 146,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneCoder._encode_plane"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.write"
-      ],
-      "dispatches": [],
-      "line": 137,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneCoder._flush_run"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.bit_length"
-      ],
-      "dispatches": [],
-      "line": 195,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneCoder._single_one_position"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.bit_length"
-      ],
-      "dispatches": [],
-      "line": 200,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneCoder._two_consecutive_ones_position"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc._PlaneCoder._decode_plane",
-        "repro.compression.bpc._from_bit_planes"
-      ],
-      "dispatches": [],
-      "line": 125,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneCoder.decode"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc._PlaneCoder._encode_plane",
-        "repro.compression.bpc._PlaneCoder._flush_run",
-        "repro.compression.bpc._bit_planes"
-      ],
-      "dispatches": [],
-      "line": 108,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneCoder.encode"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 97,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._PlaneGeometry.pos_bits"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._bit_planes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 78,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc._from_bit_planes"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor.compress",
-        "repro.compression.bdi.BDICompressor.compress",
-        "repro.compression.bpc.BPCCompressor.compress",
-        "repro.compression.cpack.CPackCompressor.compress",
-        "repro.compression.fpc.FPCCompressor.compress",
-        "repro.compression.lz.LZCompressor.compress",
-        "repro.compression.selector.BestOfCompressor.compress",
-        "repro.compression.zero.ZeroCompressor.compress"
-      ],
-      "dispatches": [],
-      "line": 322,
-      "path": "src/repro/compression/bpc.py",
-      "qual": "repro.compression.bpc.compression_ratio"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitReader.read",
-        "repro.compression.cpack.CPackCompressor._push"
-      ],
-      "dispatches": [],
-      "line": 87,
-      "path": "src/repro/compression/cpack.py",
-      "qual": "repro.compression.cpack.CPackCompressor._decode_word"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.cpack.CPackCompressor._push"
-      ],
-      "dispatches": [],
-      "line": 56,
-      "path": "src/repro/compression/cpack.py",
-      "qual": "repro.compression.cpack.CPackCompressor._encode_word"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 116,
-      "path": "src/repro/compression/cpack.py",
-      "qual": "repro.compression.cpack.CPackCompressor._push"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_input",
-        "repro.compression.base.words_of",
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.to_bits",
-        "repro.compression.cpack.CPackCompressor._encode_word"
-      ],
-      "dispatches": [],
-      "line": 37,
-      "path": "src/repro/compression/cpack.py",
-      "qual": "repro.compression.cpack.CPackCompressor.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_line",
-        "repro.compression.base.bytes_of",
-        "repro.compression.bitstream.BitReader.__init__",
-        "repro.compression.cpack.CPackCompressor._decode_word"
-      ],
-      "dispatches": [],
-      "line": 46,
-      "path": "src/repro/compression/cpack.py",
-      "qual": "repro.compression.cpack.CPackCompressor.decompress"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.bitstream.fits_signed",
-        "repro.compression.bitstream.sign_extend",
-        "repro.compression.bitstream.to_twos_complement",
-        "repro.compression.fpc.FPCCompressor._repeated_byte",
-        "repro.compression.fpc.FPCCompressor._signed",
-        "repro.compression.fpc.FPCCompressor._two_half_se8"
-      ],
-      "dispatches": [],
-      "line": 82,
-      "path": "src/repro/compression/fpc.py",
-      "qual": "repro.compression.fpc.FPCCompressor._encode_word"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 114,
-      "path": "src/repro/compression/fpc.py",
-      "qual": "repro.compression.fpc.FPCCompressor._repeated_byte"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.sign_extend"
-      ],
-      "dispatches": [],
-      "line": 79,
-      "path": "src/repro/compression/fpc.py",
-      "qual": "repro.compression.fpc.FPCCompressor._signed"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.fits_signed",
-        "repro.compression.bitstream.sign_extend"
-      ],
-      "dispatches": [],
-      "line": 108,
-      "path": "src/repro/compression/fpc.py",
-      "qual": "repro.compression.fpc.FPCCompressor._two_half_se8"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_input",
-        "repro.compression.base.words_of",
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.to_bits",
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.fpc.FPCCompressor._encode_word"
-      ],
-      "dispatches": [],
-      "line": 30,
-      "path": "src/repro/compression/fpc.py",
-      "qual": "repro.compression.fpc.FPCCompressor.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_line",
-        "repro.compression.base.bytes_of",
-        "repro.compression.bitstream.BitReader.__init__",
-        "repro.compression.bitstream.BitReader.read",
-        "repro.compression.bitstream.sign_extend"
-      ],
-      "dispatches": [],
-      "line": 49,
-      "path": "src/repro/compression/fpc.py",
-      "qual": "repro.compression.fpc.FPCCompressor.decompress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 61,
-      "path": "src/repro/compression/lz.py",
-      "qual": "repro.compression.lz.LZCompressor._longest_match"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_input",
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.to_bits",
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.compression.lz.LZCompressor._longest_match"
-      ],
-      "dispatches": [],
-      "line": 26,
-      "path": "src/repro/compression/lz.py",
-      "qual": "repro.compression.lz.LZCompressor.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_line",
-        "repro.compression.bitstream.BitReader.__init__",
-        "repro.compression.bitstream.BitReader.read"
-      ],
-      "dispatches": [],
-      "line": 44,
-      "path": "src/repro/compression/lz.py",
-      "qual": "repro.compression.lz.LZCompressor.decompress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 31,
-      "path": "src/repro/compression/selector.py",
-      "qual": "repro.compression.selector.BestOfCompressor.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor.batch_compress",
-        "repro.compression.selector.BestOfCompressor.batch_compress",
-        "repro.compression.vector.batch.BatchCompressor.batch_compress",
-        "repro.compression.vector.batch.BatchCompressor.batch_size_bits",
-        "repro.compression.vector.batch.batch_compressor_for"
-      ],
-      "dispatches": [],
-      "line": 50,
-      "path": "src/repro/compression/selector.py",
-      "qual": "repro.compression.selector.BestOfCompressor.batch_compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_input"
-      ],
-      "dispatches": [],
-      "line": 43,
-      "path": "src/repro/compression/selector.py",
-      "qual": "repro.compression.selector.BestOfCompressor.compress"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 89,
-      "path": "src/repro/compression/selector.py",
-      "qual": "repro.compression.selector.BestOfCompressor.decompress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 107,
-      "path": "src/repro/compression/selector.py",
-      "qual": "repro.compression.selector.available_algorithms"
-    },
-    {
-      "calls": [
-        "repro.compression.selector.available_algorithms"
-      ],
-      "dispatches": [],
-      "line": 112,
-      "path": "src/repro/compression/selector.py",
-      "qual": "repro.compression.selector.make_compressor"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.BatchCompressor.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.layout.lines_to_array"
-      ],
-      "dispatches": [],
-      "line": 92,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.BatchCompressor.batch_compress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 105,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.BatchCompressor.batch_decompress"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.bdi.BDIKernel.size_bits",
-        "repro.compression.vector.bpc.BPCKernel.size_bits",
-        "repro.compression.vector.fpc.FPCKernel.size_bits",
-        "repro.compression.vector.layout.lines_to_array",
-        "repro.compression.vector.zero.ZeroKernel.size_bits"
-      ],
-      "dispatches": [],
-      "line": 98,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.BatchCompressor.batch_size_bits"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 75,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.BatchCompressor.for_compressor"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 85,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.BatchCompressor.name"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 89,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.BatchCompressor.vectorized"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.batch.BatchCompressor.for_compressor"
-      ],
-      "dispatches": [],
-      "line": 118,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.batch_compressor_for"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.batch.BatchCompressor.__init__"
-      ],
-      "dispatches": [],
-      "line": 112,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.make_batch_compressor"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 50,
-      "path": "src/repro/compression/vector/batch.py",
-      "qual": "repro.compression.vector.batch.vectorized_algorithms"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 36,
-      "path": "src/repro/compression/vector/bdi.py",
-      "qual": "repro.compression.vector.bdi.BDIKernel.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.bdi.BDIKernel._feasible",
-        "repro.compression.vector.layout.words_view",
-        "repro.compression.vector.zero.zero_mask"
-      ],
-      "dispatches": [],
-      "line": 61,
-      "path": "src/repro/compression/vector/bdi.py",
-      "qual": "repro.compression.vector.bdi.BDIKernel._classify"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.layout.words_view"
-      ],
-      "dispatches": [],
-      "line": 48,
-      "path": "src/repro/compression/vector/bdi.py",
-      "qual": "repro.compression.vector.bdi.BDIKernel._feasible"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.Bits.__init__",
-        "repro.compression.vector.bdi.BDIKernel._classify",
-        "repro.compression.vector.layout.words_view"
-      ],
-      "dispatches": [],
-      "line": 83,
-      "path": "src/repro/compression/vector/bdi.py",
-      "qual": "repro.compression.vector.bdi.BDIKernel.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_line",
-        "repro.compression.bitstream.BitWriter.to_bytes"
-      ],
-      "dispatches": [],
-      "line": 129,
-      "path": "src/repro/compression/vector/bdi.py",
-      "qual": "repro.compression.vector.bdi.BDIKernel.decompress"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.bdi.BDIKernel._classify"
-      ],
-      "dispatches": [],
-      "line": 78,
-      "path": "src/repro/compression/vector/bdi.py",
-      "qual": "repro.compression.vector.bdi.BDIKernel.size_bits"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc.BPCCompressor.__init__"
-      ],
-      "dispatches": [],
-      "line": 112,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc.BPCKernel.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 209,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc.BPCKernel._emit_planes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 194,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc.BPCKernel._encode_base"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.bpc._PlaneGrid.__init__",
-        "repro.compression.vector.layout.words_view"
-      ],
-      "dispatches": [],
-      "line": 122,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc.BPCKernel._grids"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 137,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc.BPCKernel._select"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.Bits.__init__",
-        "repro.compression.vector.bpc.BPCKernel._emit_planes",
-        "repro.compression.vector.bpc.BPCKernel._encode_base",
-        "repro.compression.vector.bpc.BPCKernel._grids",
-        "repro.compression.vector.bpc.BPCKernel._select"
-      ],
-      "dispatches": [],
-      "line": 159,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc.BPCKernel.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc.BPCCompressor.decompress"
-      ],
-      "dispatches": [],
-      "line": 251,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc.BPCKernel.decompress"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.bpc.BPCKernel._grids",
-        "repro.compression.vector.bpc.BPCKernel._select"
-      ],
-      "dispatches": [],
-      "line": 153,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc.BPCKernel.size_bits"
-    },
-    {
-      "calls": [
-        "repro.core.metadata.PageMetadata.copy"
-      ],
-      "dispatches": [],
-      "line": 49,
-      "path": "src/repro/compression/vector/bpc.py",
-      "qual": "repro.compression.vector.bpc._PlaneGrid.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 30,
-      "path": "src/repro/compression/vector/fpc.py",
-      "qual": "repro.compression.vector.fpc.FPCKernel.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.layout.words_view"
-      ],
-      "dispatches": [],
-      "line": 38,
-      "path": "src/repro/compression/vector/fpc.py",
-      "qual": "repro.compression.vector.fpc.FPCKernel._classify"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.Bits.__init__",
-        "repro.compression.vector.fpc.FPCKernel._classify"
-      ],
-      "dispatches": [],
-      "line": 89,
-      "path": "src/repro/compression/vector/fpc.py",
-      "qual": "repro.compression.vector.fpc.FPCKernel.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.fpc.FPCCompressor.decompress"
-      ],
-      "dispatches": [],
-      "line": 117,
-      "path": "src/repro/compression/vector/fpc.py",
-      "qual": "repro.compression.vector.fpc.FPCKernel.decompress"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.fpc.FPCKernel._classify"
-      ],
-      "dispatches": [],
-      "line": 82,
-      "path": "src/repro/compression/vector/fpc.py",
-      "qual": "repro.compression.vector.fpc.FPCKernel.size_bits"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 53,
-      "path": "src/repro/compression/vector/layout.py",
-      "qual": "repro.compression.vector.layout.array_to_lines"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 18,
-      "path": "src/repro/compression/vector/layout.py",
-      "qual": "repro.compression.vector.layout.lines_to_array"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 42,
-      "path": "src/repro/compression/vector/layout.py",
-      "qual": "repro.compression.vector.layout.words_view"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 30,
-      "path": "src/repro/compression/vector/zero.py",
-      "qual": "repro.compression.vector.zero.ZeroKernel.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.Bits.__init__",
-        "repro.compression.vector.zero.zero_mask"
-      ],
-      "dispatches": [],
-      "line": 37,
-      "path": "src/repro/compression/vector/zero.py",
-      "qual": "repro.compression.vector.zero.ZeroKernel.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.zero.ZeroCompressor.decompress"
-      ],
-      "dispatches": [],
-      "line": 51,
-      "path": "src/repro/compression/vector/zero.py",
-      "qual": "repro.compression.vector.zero.ZeroKernel.decompress"
-    },
-    {
-      "calls": [
-        "repro.compression.vector.zero.zero_mask"
-      ],
-      "dispatches": [],
-      "line": 34,
-      "path": "src/repro/compression/vector/zero.py",
-      "qual": "repro.compression.vector.zero.ZeroKernel.size_bits"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 20,
-      "path": "src/repro/compression/vector/zero.py",
-      "qual": "repro.compression.vector.zero.zero_mask"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_input",
-        "repro.compression.bitstream.Bits.__init__",
-        "repro.compression.zero.is_zero_line"
-      ],
-      "dispatches": [],
-      "line": 25,
-      "path": "src/repro/compression/zero.py",
-      "qual": "repro.compression.zero.ZeroCompressor.compress"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor._check_line",
-        "repro.compression.bitstream.BitWriter.to_bytes"
-      ],
-      "dispatches": [],
-      "line": 33,
-      "path": "src/repro/compression/zero.py",
-      "qual": "repro.compression.zero.ZeroCompressor.decompress"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 15,
-      "path": "src/repro/compression/zero.py",
-      "qual": "repro.compression.zero.is_zero_line"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver.__init__"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.free_page",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.osmodel.vm.VirtualMemory.free_page",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 124,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver._reclaim"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 62,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver._tracer"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 92,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver.deflate"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 106,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver.held_pages"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 109,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver.protect"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 121,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver.protected_pages"
-    },
-    {
-      "calls": [
-        "repro.core.ballooning.BalloonDriver._reclaim",
-        "repro.core.ballooning.FreeListOSModel.take_cold_page",
-        "repro.core.ballooning.FreeListOSModel.take_free_page",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.osmodel.vm.VirtualMemory.take_cold_page",
-        "repro.osmodel.vm.VirtualMemory.take_free_page"
-      ],
-      "dispatches": [],
-      "line": 67,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver.relieve"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.clear"
-      ],
-      "dispatches": [],
-      "line": 113,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.BalloonDriver.unprotect"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 152,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.FreeListOSModel.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 160,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.FreeListOSModel.take_cold_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 157,
-      "path": "src/repro/core/ballooning.py",
-      "qual": "repro.core.ballooning.FreeListOSModel.take_free_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 68,
-      "path": "src/repro/core/config.py",
-      "qual": "repro.core.config.CompressoConfig.__post_init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 102,
-      "path": "src/repro/core/config.py",
-      "qual": "repro.core.config.CompressoConfig.line_bin_bits"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 94,
-      "path": "src/repro/core/config.py",
-      "qual": "repro.core.config.CompressoConfig.lines_per_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 98,
-      "path": "src/repro/core/config.py",
-      "qual": "repro.core.config.CompressoConfig.max_chunks_per_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 106,
-      "path": "src/repro/core/config.py",
-      "qual": "repro.core.config.CompressoConfig.replace"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 111,
-      "path": "src/repro/core/config.py",
-      "qual": "repro.core.config.compresso_config"
-    },
-    {
-      "calls": [
-        "repro.core.config.lcp_config"
-      ],
-      "dispatches": [],
-      "line": 140,
-      "path": "src/repro/core/config.py",
-      "qual": "repro.core.config.lcp_align_config"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 116,
-      "path": "src/repro/core/config.py",
-      "qual": "repro.core.config.lcp_config"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer.__init__",
-        "repro.compression.selector.make_compressor",
-        "repro.core.controller._SizeCache.__init__",
-        "repro.core.lcp.LCPPack.__init__",
-        "repro.core.metadata_cache.MetadataCache.__init__",
-        "repro.core.predictor.PageOverflowPredictor.__init__",
-        "repro.memory.physical.PhysicalMemory.__init__"
-      ],
-      "dispatches": [],
-      "line": 102,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.__init__"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._chunks_for"
-      ],
-      "dispatches": [],
-      "line": 588,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._alloc_chunks_for_layout"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._allocate_chunks",
-        "repro.core.controller.CompressedMemoryController._allocate_region",
-        "repro.memory.allocator.ChunkAllocator.free"
-      ],
-      "dispatches": [],
-      "line": 634,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._allocate"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._relieve_pressure",
-        "repro.memory.allocator.ChunkAllocator.allocate"
-      ],
-      "dispatches": [],
-      "line": 663,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._allocate_chunks"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._relieve_pressure"
-      ],
-      "dispatches": [],
-      "line": 670,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._allocate_region"
-    },
-    {
-      "calls": [
-        "repro.core.packing.PackingScheme.bin_index"
-      ],
-      "dispatches": [],
-      "line": 1099,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._apply_layout"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._alloc_chunks_for_layout",
-        "repro.core.packing.PackingScheme.pack_candidates"
-      ],
-      "dispatches": [],
-      "line": 600,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._best_layout"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 814,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._blocks_for"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.VariableAllocator.largest_free_region"
-      ],
-      "dispatches": [],
-      "line": 707,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._can_allocate"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 615,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._check_address"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 621,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._chunks_for"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._mpa_address"
-      ],
-      "dispatches": [],
-      "line": 1106,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._count_bulk"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.free",
-        "repro.memory.allocator.ChunkAllocator.owned_chunks",
-        "repro.memory.allocator.VariableAllocator.free_region",
-        "repro.memory.allocator.VariableAllocator.owned_regions",
-        "repro.pressure.controller.PressureController.free"
-      ],
-      "dispatches": [],
-      "line": 1351,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._defensive_release"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._defensive_release",
-        "repro.core.metadata_cache.MetadataCache.invalidate",
-        "repro.core.predictor.PageOverflowPredictor.drop_page",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 763,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._deny_allocation"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._can_allocate",
-        "repro.core.controller.CompressedMemoryController._maybe_repack",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 715,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._emergency_repack"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 743,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._enter_degraded_mode"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._maybe_exit_degraded",
-        "repro.core.controller.CompressedMemoryController._sanitize_op"
-      ],
-      "dispatches": [],
-      "line": 1190,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._finish"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._alloc_chunks_for_layout",
-        "repro.core.controller.CompressedMemoryController._allocate",
-        "repro.core.controller.CompressedMemoryController._apply_layout",
-        "repro.core.controller.CompressedMemoryController._best_layout",
-        "repro.core.controller.CompressedMemoryController._layout",
-        "repro.core.controller.CompressedMemoryController._store_uncompressed",
-        "repro.core.controller.CompressedMemoryController._write_blocks",
-        "repro.core.metadata_cache.MetadataCache.mark_dirty",
-        "repro.core.metadata_cache.MetadataCache.reshape",
-        "repro.core.predictor.PageOverflowPredictor.should_inflate",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 855,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._first_touch"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._allocate",
-        "repro.core.controller.CompressedMemoryController._inflate_line",
-        "repro.core.controller.CompressedMemoryController._layout",
-        "repro.core.controller.CompressedMemoryController._mpa_address",
-        "repro.core.controller.CompressedMemoryController._os_page_fault",
-        "repro.core.controller.CompressedMemoryController._page_data_blocks",
-        "repro.core.controller.CompressedMemoryController._recompress",
-        "repro.core.controller.CompressedMemoryController._shift_grow",
-        "repro.core.controller.CompressedMemoryController._store_uncompressed",
-        "repro.core.controller.CompressedMemoryController._write_blocks",
-        "repro.core.metadata_cache.MetadataCache.mark_dirty",
-        "repro.core.packing.PackingScheme.bin_index",
-        "repro.core.predictor.PageOverflowPredictor.on_page_overflow",
-        "repro.core.predictor.PageOverflowPredictor.should_inflate",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 880,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._handle_line_overflow"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._recover_allocator_books",
-        "repro.core.controller.CompressedMemoryController._recover_leaked_storage",
-        "repro.core.controller.CompressedMemoryController._recover_mdcache_entry",
-        "repro.core.controller.CompressedMemoryController._recover_page",
-        "repro.core.controller.CompressedMemoryController._verify_recovery",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 1235,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._handle_new_violations"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 1007,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._inflate_line"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 846,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._invalidate_burst"
-    },
-    {
-      "calls": [
-        "repro.core.linepack.LinePack.layout_from_bins"
-      ],
-      "dispatches": [],
-      "line": 581,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._layout"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._can_allocate",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 752,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._maybe_exit_degraded"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._alloc_chunks_for_layout",
-        "repro.core.controller.CompressedMemoryController._allocate",
-        "repro.core.controller.CompressedMemoryController._apply_layout",
-        "repro.core.controller.CompressedMemoryController._best_layout",
-        "repro.core.controller.CompressedMemoryController._mpa_address",
-        "repro.core.controller.CompressedMemoryController._page_data_blocks",
-        "repro.core.metadata_cache.MetadataCache.contains",
-        "repro.core.metadata_cache.MetadataCache.reshape",
-        "repro.core.predictor.PageOverflowPredictor.on_page_shrink",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 1128,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._maybe_repack"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._speculate",
-        "repro.core.metadata_cache.MetadataCache.access",
-        "repro.memory.physical.PhysicalMemory.metadata_address",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 506,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._metadata_access"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 798,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._mpa_address"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._maybe_repack",
-        "repro.core.predictor.PageOverflowPredictor.drop_page",
-        "repro.core.predictor.PageOverflowPredictor.local_value",
-        "repro.memory.physical.PhysicalMemory.metadata_address",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 549,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._on_metadata_evict"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 1093,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._os_page_fault"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 492,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._page"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._layout"
-      ],
-      "dispatches": [],
-      "line": 1011,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._page_data_blocks"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._alloc_chunks_for_layout",
-        "repro.core.controller.CompressedMemoryController._allocate",
-        "repro.core.controller.CompressedMemoryController._apply_layout",
-        "repro.core.controller.CompressedMemoryController._best_layout",
-        "repro.core.controller.CompressedMemoryController._count_bulk",
-        "repro.core.controller.CompressedMemoryController._os_page_fault",
-        "repro.core.controller.CompressedMemoryController._page_data_blocks",
-        "repro.core.controller.CompressedMemoryController._should_store_raw",
-        "repro.core.controller.CompressedMemoryController._store_uncompressed",
-        "repro.core.predictor.PageOverflowPredictor.on_page_overflow",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 1053,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._recompress"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.repair_books",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 1392,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._recover_allocator_books"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.free",
-        "repro.memory.allocator.ChunkAllocator.owned_chunks",
-        "repro.memory.allocator.VariableAllocator.free_region",
-        "repro.memory.allocator.VariableAllocator.owned_regions",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.pressure.controller.PressureController.free"
-      ],
-      "dispatches": [],
-      "line": 1398,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._recover_leaked_storage"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache.invalidate",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 1386,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._recover_mdcache_entry"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._allocate",
-        "repro.core.controller.CompressedMemoryController._defensive_release",
-        "repro.core.controller.CompressedMemoryController._deny_allocation",
-        "repro.core.controller._SizeCache.size_bytes",
-        "repro.core.metadata_cache.MetadataCache.invalidate",
-        "repro.core.predictor.PageOverflowPredictor.drop_page",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 1310,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._recover_page"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.free"
-      ],
-      "dispatches": [],
-      "line": 783,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._release_storage"
-    },
-    {
-      "calls": [
-        "repro.core.ballooning.BalloonDriver.relieve",
-        "repro.core.controller.CompressedMemoryController._emergency_repack",
-        "repro.core.controller.CompressedMemoryController._enter_degraded_mode"
-      ],
-      "dispatches": [],
-      "line": 677,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._relieve_pressure"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 839,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._remember_block"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer.check_all",
-        "repro.core.controller.CompressedMemoryController._handle_new_violations"
-      ],
-      "dispatches": [],
-      "line": 1210,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._sanitize_all"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer.after_op",
-        "repro.core.controller.CompressedMemoryController._handle_new_violations"
-      ],
-      "dispatches": [],
-      "line": 1202,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._sanitize_op"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._alloc_chunks_for_layout",
-        "repro.core.controller.CompressedMemoryController._allocate",
-        "repro.core.controller.CompressedMemoryController._count_bulk",
-        "repro.core.controller.CompressedMemoryController._layout",
-        "repro.core.controller.CompressedMemoryController._os_page_fault",
-        "repro.core.controller.CompressedMemoryController._page_data_blocks",
-        "repro.core.controller.CompressedMemoryController._should_store_raw",
-        "repro.core.controller.CompressedMemoryController._store_uncompressed",
-        "repro.core.predictor.PageOverflowPredictor.on_page_overflow",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 957,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._shift_grow"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 1017,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._should_store_raw"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._mpa_address",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 528,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._speculate"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._allocate",
-        "repro.core.controller.CompressedMemoryController._count_bulk",
-        "repro.core.metadata_cache.MetadataCache.reshape",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 1032,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._store_uncompressed"
-    },
-    {
-      "calls": [
-        "repro.check.sanitizer.MemorySanitizer.check_allocator",
-        "repro.check.sanitizer.MemorySanitizer.check_page",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 1289,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._verify_recovery"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._blocks_for",
-        "repro.core.controller.CompressedMemoryController._mpa_address",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 822,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._write_blocks"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._finish",
-        "repro.core.controller.CompressedMemoryController._first_touch",
-        "repro.core.controller.CompressedMemoryController._handle_line_overflow",
-        "repro.core.controller.CompressedMemoryController._layout",
-        "repro.core.controller.CompressedMemoryController._mpa_address",
-        "repro.core.controller.CompressedMemoryController._write_blocks",
-        "repro.core.packing.PackingScheme.bin_bytes",
-        "repro.core.packing.PackingScheme.bin_index",
-        "repro.core.predictor.PageOverflowPredictor.on_line_overflow",
-        "repro.core.predictor.PageOverflowPredictor.on_line_underflow",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 270,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController._write_line_dispatch"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 444,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.compression_ratio"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._sanitize_all",
-        "repro.core.metadata_cache.MetadataCache.flush"
-      ],
-      "dispatches": [],
-      "line": 460,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.flush_metadata"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._maybe_repack",
-        "repro.core.controller.CompressedMemoryController._sanitize_op",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 467,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.force_repack"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._maybe_exit_degraded",
-        "repro.core.controller.CompressedMemoryController._release_storage",
-        "repro.core.controller.CompressedMemoryController._sanitize_op",
-        "repro.core.metadata_cache.MetadataCache.invalidate",
-        "repro.core.predictor.PageOverflowPredictor.drop_page",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 476,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.free_page"
-    },
-    {
-      "calls": [
-        "repro.compression.zero.is_zero_line",
-        "repro.core.controller.CompressedMemoryController._alloc_chunks_for_layout",
-        "repro.core.controller.CompressedMemoryController._allocate",
-        "repro.core.controller.CompressedMemoryController._apply_layout",
-        "repro.core.controller.CompressedMemoryController._best_layout",
-        "repro.core.controller.CompressedMemoryController._check_address",
-        "repro.core.controller.CompressedMemoryController._deny_allocation",
-        "repro.core.controller.CompressedMemoryController._page",
-        "repro.core.controller.CompressedMemoryController._sanitize_op",
-        "repro.core.controller.CompressedMemoryController._should_store_raw",
-        "repro.core.controller._SizeCache.size_bytes"
-      ],
-      "dispatches": [],
-      "line": 352,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.install_page"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor.batch_compress",
-        "repro.compression.selector.BestOfCompressor.batch_compress",
-        "repro.compression.vector.batch.BatchCompressor.batch_compress",
-        "repro.compression.vector.batch.BatchCompressor.batch_size_bits",
-        "repro.compression.vector.batch.batch_compressor_for",
-        "repro.compression.zero.is_zero_line"
-      ],
-      "dispatches": [],
-      "line": 404,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.prime_size_cache"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._blocks_for",
-        "repro.core.controller.CompressedMemoryController._check_address",
-        "repro.core.controller.CompressedMemoryController._finish",
-        "repro.core.controller.CompressedMemoryController._layout",
-        "repro.core.controller.CompressedMemoryController._metadata_access",
-        "repro.core.controller.CompressedMemoryController._mpa_address",
-        "repro.core.controller.CompressedMemoryController._page",
-        "repro.core.controller.CompressedMemoryController._remember_block",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.NullTracer.tick",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.obs.tracer.Tracer.tick"
-      ],
-      "dispatches": [],
-      "line": 179,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.read_line"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController._sanitize_all",
-        "repro.core.controller.CompressedMemoryController._sanitize_op"
-      ],
-      "dispatches": [],
-      "line": 1218,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.scrub"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 457,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.used_bytes"
-    },
-    {
-      "calls": [
-        "repro.compression.zero.is_zero_line",
-        "repro.core.controller.CompressedMemoryController._check_address",
-        "repro.core.controller.CompressedMemoryController._deny_allocation",
-        "repro.core.controller.CompressedMemoryController._finish",
-        "repro.core.controller.CompressedMemoryController._invalidate_burst",
-        "repro.core.controller.CompressedMemoryController._metadata_access",
-        "repro.core.controller.CompressedMemoryController._page",
-        "repro.core.controller.CompressedMemoryController._write_line_dispatch",
-        "repro.core.controller._SizeCache.size_bytes",
-        "repro.core.metadata_cache.MetadataCache.mark_dirty",
-        "repro.core.packing.PackingScheme.bin_index",
-        "repro.obs.tracer.NullTracer.tick",
-        "repro.obs.tracer.Tracer.tick"
-      ],
-      "dispatches": [],
-      "line": 235,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.CompressedMemoryController.write_line"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 95,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller.PageState.allocation_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 58,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller._SizeCache.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.base.Compressor.compressed_size_bytes",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/core/controller.py",
-      "qual": "repro.core.controller._SizeCache.size_bytes"
-    },
-    {
-      "calls": [
-        "repro.core.lcp.derive_targets"
-      ],
-      "dispatches": [],
-      "line": 74,
-      "path": "src/repro/core/lcp.py",
-      "qual": "repro.core.lcp.LCPPack.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 120,
-      "path": "src/repro/core/lcp.py",
-      "qual": "repro.core.lcp.LCPPack._target_bin_for_class"
-    },
-    {
-      "calls": [
-        "repro.core.packing.PackingScheme.bin_bytes"
-      ],
-      "dispatches": [],
-      "line": 134,
-      "path": "src/repro/core/lcp.py",
-      "qual": "repro.core.lcp.LCPPack.layout_from_bins"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 149,
-      "path": "src/repro/core/lcp.py",
-      "qual": "repro.core.lcp.LCPPack.offset_calc_cycles"
-    },
-    {
-      "calls": [
-        "repro.core.lcp.LCPPack.pack_candidates"
-      ],
-      "dispatches": [],
-      "line": 129,
-      "path": "src/repro/core/lcp.py",
-      "qual": "repro.core.lcp.LCPPack.pack"
-    },
-    {
-      "calls": [
-        "repro.core.lcp.LCPPack._target_bin_for_class",
-        "repro.core.lcp.LCPPack.layout_from_bins",
-        "repro.core.packing.PackingScheme.bin_bytes"
-      ],
-      "dispatches": [],
-      "line": 89,
-      "path": "src/repro/core/lcp.py",
-      "qual": "repro.core.lcp.LCPPack.pack_candidates"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/core/lcp.py",
-      "qual": "repro.core.lcp.derive_targets"
-    },
-    {
-      "calls": [
-        "repro.core.packing.PackingScheme.bin_bytes"
-      ],
-      "dispatches": [],
-      "line": 28,
-      "path": "src/repro/core/linepack.py",
-      "qual": "repro.core.linepack.LinePack.layout_from_bins"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 46,
-      "path": "src/repro/core/linepack.py",
-      "qual": "repro.core.linepack.LinePack.offset_calc_cycles"
-    },
-    {
-      "calls": [
-        "repro.core.linepack.LinePack.layout_from_bins",
-        "repro.core.packing.PackingScheme.bin_index"
-      ],
-      "dispatches": [],
-      "line": 23,
-      "path": "src/repro/core/linepack.py",
-      "qual": "repro.core.linepack.LinePack.pack"
-    },
-    {
-      "calls": [
-        "repro.core.linepack.LinePack.pack",
-        "repro.core.packing.PageLayout.locate"
-      ],
-      "dispatches": [],
-      "line": 52,
-      "path": "src/repro/core/linepack.py",
-      "qual": "repro.core.linepack.split_access_fraction"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 86,
-      "path": "src/repro/core/metadata.py",
-      "qual": "repro.core.metadata.PageMetadata.check"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 72,
-      "path": "src/repro/core/metadata.py",
-      "qual": "repro.core.metadata.PageMetadata.copy"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitReader.__init__",
-        "repro.compression.bitstream.BitReader.read"
-      ],
-      "dispatches": [],
-      "line": 134,
-      "path": "src/repro/core/metadata.py",
-      "qual": "repro.core.metadata.PageMetadata.decode"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.__init__",
-        "repro.compression.bitstream.BitWriter.to_bits",
-        "repro.compression.bitstream.BitWriter.write"
-      ],
-      "dispatches": [],
-      "line": 115,
-      "path": "src/repro/core/metadata.py",
-      "qual": "repro.core.metadata.PageMetadata.encode"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 110,
-      "path": "src/repro/core/metadata.py",
-      "qual": "repro.core.metadata.PageMetadata.is_uncompressed"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 163,
-      "path": "src/repro/core/metadata.py",
-      "qual": "repro.core.metadata.metadata_overhead_fraction"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 158,
-      "path": "src/repro/core/metadata.py",
-      "qual": "repro.core.metadata.metadata_region_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 33,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.CacheEntry.slots"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 64,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.__init__"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 181,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache._evict_lru"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 80,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache._set_for"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 178,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache._used_slots"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._set_for",
-        "repro.core.metadata_cache.MetadataCache.fill",
-        "repro.core.metadata_cache.MetadataCache.lookup"
-      ],
-      "dispatches": [],
-      "line": 116,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.access"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._set_for"
-      ],
-      "dispatches": [],
-      "line": 153,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.contains"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 159,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.entry_items"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._evict_lru",
-        "repro.core.metadata_cache.MetadataCache._set_for",
-        "repro.core.metadata_cache.MetadataCache._used_slots",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 95,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.fill"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._evict_lru"
-      ],
-      "dispatches": [],
-      "line": 147,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.flush"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._set_for"
-      ],
-      "dispatches": [],
-      "line": 143,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.invalidate"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._set_for",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 83,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.lookup"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._set_for"
-      ],
-      "dispatches": [],
-      "line": 127,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.mark_dirty"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._used_slots"
-      ],
-      "dispatches": [],
-      "line": 169,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.occupancy"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache._evict_lru",
-        "repro.core.metadata_cache.MetadataCache._set_for",
-        "repro.core.metadata_cache.MetadataCache._used_slots",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 132,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.reshape"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 156,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCache.resident_pages"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 45,
-      "path": "src/repro/core/metadata_cache.py",
-      "qual": "repro.core.metadata_cache.MetadataCacheStats.hit_rate"
-    },
-    {
-      "calls": [
-        "repro.core.packing.blocks_spanned"
-      ],
-      "dispatches": [],
-      "line": 44,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.LineLocation.accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 100,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PackingScheme.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 111,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PackingScheme.bin_bytes"
-    },
-    {
-      "calls": [
-        "repro.core.packing.choose_bin"
-      ],
-      "dispatches": [],
-      "line": 108,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PackingScheme.bin_index"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 132,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PackingScheme.layout_from_bins"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 138,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PackingScheme.offset_calc_cycles"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 115,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PackingScheme.pack"
-    },
-    {
-      "calls": [
-        "repro.core.lcp.LCPPack.pack",
-        "repro.core.linepack.LinePack.pack",
-        "repro.core.packing.PackingScheme.pack"
-      ],
-      "dispatches": [],
-      "line": 121,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PackingScheme.pack_candidates"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PageLayout.inflation_base"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 59,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PageLayout.inflation_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 82,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PageLayout.locate"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 76,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.PageLayout.total_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 29,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.blocks_spanned"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 17,
-      "path": "src/repro/core/packing.py",
-      "qual": "repro.core.packing.choose_bin"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 68,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.__init__"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 118,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor._local_counter"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 89,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.drop_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 115,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.global_value"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 110,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.local_value"
-    },
-    {
-      "calls": [
-        "repro.core.predictor.PageOverflowPredictor._local_counter"
-      ],
-      "dispatches": [],
-      "line": 76,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.on_line_overflow"
-    },
-    {
-      "calls": [
-        "repro.core.predictor.PageOverflowPredictor._local_counter"
-      ],
-      "dispatches": [],
-      "line": 79,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.on_line_underflow"
-    },
-    {
-      "calls": [
-        "repro.core.predictor.SaturatingCounter.increment"
-      ],
-      "dispatches": [],
-      "line": 82,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.on_page_overflow"
-    },
-    {
-      "calls": [
-        "repro.core.predictor.SaturatingCounter.decrement"
-      ],
-      "dispatches": [],
-      "line": 85,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.on_page_shrink"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 95,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.PageOverflowPredictor.should_inflate"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 34,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.SaturatingCounter.__post_init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 52,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.SaturatingCounter.decrement"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 45,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.SaturatingCounter.high_bit_set"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 48,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.SaturatingCounter.increment"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 41,
-      "path": "src/repro/core/predictor.py",
-      "qual": "repro.core.predictor.SaturatingCounter.max_value"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 158,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.as_dict"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.MetricRegistry.register"
-      ],
-      "dispatches": [],
-      "line": 161,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.bind_registry"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 126,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.breakdown"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 92,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.compression_change_accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 87,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.demand_accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 101,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.extra_accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 143,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.merge"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 136,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.metadata_hit_rate"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 116,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.metadata_lookups"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 120,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.relative_extra_accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 111,
-      "path": "src/repro/core/stats.py",
-      "qual": "repro.core.stats.ControllerStats.saved_accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 40,
-      "path": "src/repro/cpu/core.py",
-      "qual": "repro.cpu.core.AnalyticCore.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 52,
-      "path": "src/repro/cpu/core.py",
-      "qual": "repro.cpu.core.AnalyticCore.advance_instructions"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 69,
-      "path": "src/repro/cpu/core.py",
-      "qual": "repro.cpu.core.AnalyticCore.seconds"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 61,
-      "path": "src/repro/cpu/core.py",
-      "qual": "repro.cpu.core.AnalyticCore.stall"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 30,
-      "path": "src/repro/cpu/core.py",
-      "qual": "repro.cpu.core.CoreStats.cycles"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 33,
-      "path": "src/repro/cpu/core.py",
-      "qual": "repro.cpu.core.CoreStats.ipc"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 50,
-      "path": "src/repro/energy/area.py",
-      "qual": "repro.energy.area.AdderModel.gate_delays_naive"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 58,
-      "path": "src/repro/energy/area.py",
-      "qual": "repro.energy.area.AdderModel.gate_delays_optimized"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 41,
-      "path": "src/repro/energy/area.py",
-      "qual": "repro.energy.area.AdderModel.nand_gates"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 36,
-      "path": "src/repro/energy/area.py",
-      "qual": "repro.energy.area.AdderModel.output_bits"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/energy/area.py",
-      "qual": "repro.energy.area.AdderModel.visible_cycles"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 92,
-      "path": "src/repro/energy/area.py",
-      "qual": "repro.energy.area.AreaReport.total_mm2"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 88,
-      "path": "src/repro/energy/area.py",
-      "qual": "repro.energy.area.AreaReport.total_um2"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.bit_length"
-      ],
-      "dispatches": [],
-      "line": 72,
-      "path": "src/repro/energy/area.py",
-      "qual": "repro.energy.area.offset_adder_for_bins"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 59,
-      "path": "src/repro/energy/model.py",
-      "qual": "repro.energy.model.EnergyBreakdown.dram_nj"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/energy/model.py",
-      "qual": "repro.energy.model.EnergyBreakdown.total_nj"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 38,
-      "path": "src/repro/energy/model.py",
-      "qual": "repro.energy.model.EnergyConstants.sanity_fractions"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 71,
-      "path": "src/repro/energy/model.py",
-      "qual": "repro.energy.model.EnergyModel.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 76,
-      "path": "src/repro/energy/model.py",
-      "qual": "repro.energy.model.EnergyModel._seconds"
-    },
-    {
-      "calls": [
-        "repro.energy.model.EnergyModel._seconds"
-      ],
-      "dispatches": [],
-      "line": 79,
-      "path": "src/repro/energy/model.py",
-      "qual": "repro.energy.model.EnergyModel.evaluate"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 110,
-      "path": "src/repro/energy/model.py",
-      "qual": "repro.energy.model.EnergyModel.relative"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 73,
-      "path": "src/repro/inject/campaign.py",
-      "qual": "repro.inject.campaign.CellOutcome.as_row"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 158,
-      "path": "src/repro/inject/campaign.py",
-      "qual": "repro.inject.campaign.FaultCampaign.__init__"
-    },
-    {
-      "calls": [
-        "repro.inject.campaign.CellOutcome.as_row",
-        "repro.pressure.campaign.PressureCellOutcome.as_row"
-      ],
-      "dispatches": [],
-      "line": 190,
-      "path": "src/repro/inject/campaign.py",
-      "qual": "repro.inject.campaign.FaultCampaign.rows"
-    },
-    {
-      "calls": [
-        "repro.inject.campaign.campaign_cell"
-      ],
-      "dispatches": [],
-      "line": 176,
-      "path": "src/repro/inject/campaign.py",
-      "qual": "repro.inject.campaign.FaultCampaign.run"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 187,
-      "path": "src/repro/inject/campaign.py",
-      "qual": "repro.inject.campaign.FaultCampaign.silent_corruptions"
-    },
-    {
-      "calls": [
-        "repro.inject.campaign.reconcile",
-        "repro.inject.faults.FaultInjector.__init__",
-        "repro.obs.tracer.Tracer.__init__",
-        "repro.simulation.simulator.simulate",
-        "repro.workloads.profiles.get_profile"
-      ],
-      "dispatches": [],
-      "line": 133,
-      "path": "src/repro/inject/campaign.py",
-      "qual": "repro.inject.campaign.campaign_cell"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 80,
-      "path": "src/repro/inject/campaign.py",
-      "qual": "repro.inject.campaign.matches"
-    },
-    {
-      "calls": [
-        "repro.inject.campaign.matches"
-      ],
-      "dispatches": [],
-      "line": 101,
-      "path": "src/repro/inject/campaign.py",
-      "qual": "repro.inject.campaign.reconcile"
-    },
-    {
-      "calls": [
-        "repro.inject.faults.parse_fault_spec"
-      ],
-      "dispatches": [],
-      "line": 121,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 202,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector._compressed_pages"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.inject_double_grant",
-        "repro.memory.allocator.ChunkAllocator.owned_chunks",
-        "repro.memory.allocator.VariableAllocator.inject_double_grant",
-        "repro.memory.allocator.VariableAllocator.owned_regions"
-      ],
-      "dispatches": [],
-      "line": 298,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector._inject_double_grant"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.seize",
-        "repro.memory.allocator.VariableAllocator.seize"
-      ],
-      "dispatches": [],
-      "line": 288,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector._inject_exhaust"
-    },
-    {
-      "calls": [
-        "repro.compression.base.CompressedLine.size_bytes",
-        "repro.core.controller._SizeCache.size_bytes",
-        "repro.inject.faults.FaultInjector._compressed_pages"
-      ],
-      "dispatches": [],
-      "line": 207,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector._inject_line"
-    },
-    {
-      "calls": [
-        "repro.core.metadata_cache.MetadataCache.entry_items"
-      ],
-      "dispatches": [],
-      "line": 276,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector._inject_mdcache"
-    },
-    {
-      "calls": [
-        "repro.inject.faults.FaultInjector._compressed_pages"
-      ],
-      "dispatches": [],
-      "line": 241,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector._inject_meta"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 139,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector.bind"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.scrub",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit"
-      ],
-      "dispatches": [],
-      "line": 164,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector.inject"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.restore",
-        "repro.memory.allocator.VariableAllocator.restore"
-      ],
-      "dispatches": [],
-      "line": 190,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector.release_seized"
-    },
-    {
-      "calls": [
-        "repro.inject.faults.FaultInjector.inject"
-      ],
-      "dispatches": [],
-      "line": 147,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultInjector.step"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 60,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.FaultSpec.__post_init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 70,
-      "path": "src/repro/inject/faults.py",
-      "qual": "repro.inject.faults.parse_fault_spec"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 44,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.AllocatorStats.fragmentation"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 36,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.AllocatorStats.free_chunks"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.MetricRegistry.gauge"
-      ],
-      "dispatches": [],
-      "line": 49,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.AllocatorStats.observe"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 40,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.AllocatorStats.utilization"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 63,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 74,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.allocate"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 163,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.check_books"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 125,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.chunk_base_address"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 86,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.free"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 95,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.free_chunks"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 152,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.inject_double_grant"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.stats"
-      ],
-      "dispatches": [],
-      "line": 121,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.observe"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 106,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.owned_chunks"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 189,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.repair_books"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 144,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.restore"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 131,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.seize"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 115,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.stats"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 103,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.used_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 99,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.ChunkAllocator.used_chunks"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 217,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 234,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator._order_for"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.VariableAllocator._order_for"
-      ],
-      "dispatches": [],
-      "line": 242,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.allocate_region"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.VariableAllocator.check_books.claim"
-      ],
-      "dispatches": [],
-      "line": 370,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.check_books"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 381,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.check_books.claim"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 325,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.chunk_base_address"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 292,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.free_chunks"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 264,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.free_region"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 361,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.inject_double_grant"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 306,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.largest_free_region"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.VariableAllocator.largest_free_region",
-        "repro.memory.allocator.VariableAllocator.stats",
-        "repro.obs.metrics.MetricRegistry.gauge"
-      ],
-      "dispatches": [],
-      "line": 319,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.observe"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 281,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.owned_regions"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 278,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.region_size_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 402,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.repair_books"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.VariableAllocator.free_region"
-      ],
-      "dispatches": [],
-      "line": 351,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.restore"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 330,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.seize"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 312,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.stats"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 303,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.used_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 299,
-      "path": "src/repro/memory/allocator.py",
-      "qual": "repro.memory.allocator.VariableAllocator.used_chunks"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 95,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DDR4Channel.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 104,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DDR4Channel._map"
-    },
-    {
-      "calls": [
-        "repro.memory.dram.DDR4Channel._map"
-      ],
-      "dispatches": [],
-      "line": 110,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DDR4Channel.access"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 161,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DDR4Channel.utilization"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 78,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMStats.accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 81,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMStats.row_hit_rate"
-    },
-    {
-      "calls": [
-        "repro.memory.dram.DDR4Channel.__init__"
-      ],
-      "dispatches": [],
-      "line": 171,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMSystem.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 178,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMSystem.access"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 183,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMSystem.stats"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 40,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMTimings._cpu"
-    },
-    {
-      "calls": [
-        "repro.memory.dram.DRAMTimings._cpu"
-      ],
-      "dispatches": [],
-      "line": 56,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMTimings.burst_cycles"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 37,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMTimings.cycles_per_dram_clock"
-    },
-    {
-      "calls": [
-        "repro.memory.dram.DRAMTimings._cpu"
-      ],
-      "dispatches": [],
-      "line": 52,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMTimings.row_conflict_latency"
-    },
-    {
-      "calls": [
-        "repro.memory.dram.DRAMTimings._cpu"
-      ],
-      "dispatches": [],
-      "line": 44,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMTimings.row_hit_latency"
-    },
-    {
-      "calls": [
-        "repro.memory.dram.DRAMTimings._cpu"
-      ],
-      "dispatches": [],
-      "line": 48,
-      "path": "src/repro/memory/dram.py",
-      "qual": "repro.memory.dram.DRAMTimings.row_miss_latency"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 28,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.MemoryGeometry.advertised_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 41,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.MemoryGeometry.data_region_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 46,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.MemoryGeometry.metadata_overhead"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 36,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.MemoryGeometry.metadata_region_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 32,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.MemoryGeometry.ospa_pages"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.__init__",
-        "repro.memory.allocator.VariableAllocator.__init__"
-      ],
-      "dispatches": [],
-      "line": 53,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.PhysicalMemory.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 78,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.PhysicalMemory.free_bytes"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 84,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.PhysicalMemory.metadata_address"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 74,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.PhysicalMemory.used_bytes"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.ChunkAllocator.stats"
-      ],
-      "dispatches": [],
-      "line": 81,
-      "path": "src/repro/memory/physical.py",
-      "qual": "repro.memory.physical.PhysicalMemory.utilization"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 57,
-      "path": "src/repro/memory/request.py",
-      "qual": "repro.memory.request.AccessResult.critical_accesses"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 36,
-      "path": "src/repro/memory/request.py",
-      "qual": "repro.memory.request.MemAccess.__post_init__"
-    },
-    {
-      "calls": [
-        "repro.obs.timeline.build_timeline"
-      ],
-      "dispatches": [],
-      "line": 32,
-      "path": "src/repro/obs/export.py",
-      "qual": "repro.obs.export.chrome_trace"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 93,
-      "path": "src/repro/obs/export.py",
-      "qual": "repro.obs.export.events_csv"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.MetricRegistry.collect",
-        "repro.obs.timeline.build_timeline",
-        "repro.obs.tracer.Tracer.counts",
-        "repro.obs.tracer.Tracer.extra_by_source",
-        "repro.obs.tracer.Tracer.phase_seconds"
-      ],
-      "dispatches": [],
-      "line": 103,
-      "path": "src/repro/obs/export.py",
-      "qual": "repro.obs.export.summary"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 78,
-      "path": "src/repro/obs/export.py",
-      "qual": "repro.obs.export.timeline_csv"
-    },
-    {
-      "calls": [
-        "repro.obs.export.chrome_trace"
-      ],
-      "dispatches": [],
-      "line": 72,
-      "path": "src/repro/obs/export.py",
-      "qual": "repro.obs.export.write_chrome_trace"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 34,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Counter.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 38,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Counter.inc"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 49,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Gauge.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 53,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Gauge.set"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 67,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Histogram.__init__"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.Histogram.percentile"
-      ],
-      "dispatches": [],
-      "line": 115,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Histogram.as_dict"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 85,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Histogram.mean"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 77,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Histogram.observe"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 88,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.Histogram.percentile"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 134,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.MetricRegistry.__init__"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 172,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.MetricRegistry._get_or_make"
-    },
-    {
-      "calls": [
-        "repro.core.stats.ControllerStats.as_dict",
-        "repro.obs.metrics.Histogram.as_dict",
-        "repro.obs.timeline.TimelineWindow.as_dict",
-        "repro.obs.tracer.TraceEvent.as_dict"
-      ],
-      "dispatches": [],
-      "line": 162,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.MetricRegistry.collect"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.MetricRegistry._get_or_make"
-      ],
-      "dispatches": [],
-      "line": 138,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.MetricRegistry.counter"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.MetricRegistry._get_or_make"
-      ],
-      "dispatches": [],
-      "line": 141,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.MetricRegistry.gauge"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.Histogram.__init__",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 144,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.MetricRegistry.histogram"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 159,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.MetricRegistry.names"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 153,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.MetricRegistry.register"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.compression_ratio",
-        "repro.core.metadata_cache.MetadataCache.occupancy",
-        "repro.core.stats.ControllerStats.bind_registry",
-        "repro.memory.allocator.AllocatorStats.observe",
-        "repro.memory.allocator.ChunkAllocator.observe",
-        "repro.memory.allocator.VariableAllocator.observe",
-        "repro.obs.metrics.Histogram.observe",
-        "repro.obs.metrics.MetricRegistry.__init__",
-        "repro.obs.metrics.MetricRegistry.gauge",
-        "repro.obs.metrics.MetricRegistry.histogram",
-        "repro.simulation.simulator.UncompressedController.compression_ratio"
-      ],
-      "dispatches": [],
-      "line": 188,
-      "path": "src/repro/obs/metrics.py",
-      "qual": "repro.obs.metrics.sample_controller"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 36,
-      "path": "src/repro/obs/timeline.py",
-      "qual": "repro.obs.timeline.TimelineWindow.as_dict"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 33,
-      "path": "src/repro/obs/timeline.py",
-      "qual": "repro.obs.timeline.TimelineWindow.total_extra"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/obs/timeline.py",
-      "qual": "repro.obs.timeline.build_timeline"
-    },
-    {
-      "calls": [
-        "repro.obs.timeline.build_timeline"
-      ],
-      "dispatches": [],
-      "line": 77,
-      "path": "src/repro/obs/timeline.py",
-      "qual": "repro.obs.timeline.timeline_digest"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 166,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.NullTracer.emit"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 175,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.NullTracer.events"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 170,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.NullTracer.phase"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 179,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.NullTracer.phase_spans"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 163,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.NullTracer.tick"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 113,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.TraceEvent.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 132,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.TraceEvent.__repr__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 125,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.TraceEvent.as_dict"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 122,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.TraceEvent.source"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 220,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.Tracer.__init__"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 244,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.Tracer.counts"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.TraceEvent.__init__"
-      ],
-      "dispatches": [],
-      "line": 233,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.Tracer.emit"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 251,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.Tracer.extra_by_source"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer._Phase.__init__"
-      ],
-      "dispatches": [],
-      "line": 239,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.Tracer.phase"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 264,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.Tracer.phase_seconds"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 230,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.Tracer.tick"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.Tracer.extra_by_source"
-      ],
-      "dispatches": [],
-      "line": 260,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.Tracer.total_extra"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 142,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer._NullPhase.__enter__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 145,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer._NullPhase.__exit__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 197,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer._Phase.__enter__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 201,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer._Phase.__exit__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 192,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer._Phase.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 277,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.filter_events"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 272,
-      "path": "src/repro/obs/tracer.py",
-      "qual": "repro.obs.tracer.known_event"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 37,
-      "path": "src/repro/osmodel/cgroups.py",
-      "qual": "repro.osmodel.cgroups.DynamicBudget.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/osmodel/cgroups.py",
-      "qual": "repro.osmodel.cgroups.DynamicBudget.ratio_at"
-    },
-    {
-      "calls": [
-        "repro.osmodel.cgroups.DynamicBudget.ratio_at"
-      ],
-      "dispatches": [],
-      "line": 52,
-      "path": "src/repro/osmodel/cgroups.py",
-      "qual": "repro.osmodel.cgroups.DynamicBudget.resident_limit"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 67,
-      "path": "src/repro/osmodel/cgroups.py",
-      "qual": "repro.osmodel.cgroups.ScaledBudget.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 75,
-      "path": "src/repro/osmodel/cgroups.py",
-      "qual": "repro.osmodel.cgroups.ScaledBudget.factor_at"
-    },
-    {
-      "calls": [
-        "repro.osmodel.cgroups.DynamicBudget.resident_limit",
-        "repro.osmodel.cgroups.ScaledBudget.factor_at",
-        "repro.osmodel.cgroups.ScaledBudget.resident_limit",
-        "repro.osmodel.cgroups.StaticBudget.resident_limit"
-      ],
-      "dispatches": [],
-      "line": 80,
-      "path": "src/repro/osmodel/cgroups.py",
-      "qual": "repro.osmodel.cgroups.ScaledBudget.resident_limit"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 23,
-      "path": "src/repro/osmodel/cgroups.py",
-      "qual": "repro.osmodel.cgroups.StaticBudget.resident_limit"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 64,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.LRUPagingSimulator.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 105,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.LRUPagingSimulator.drop"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 89,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.LRUPagingSimulator.evict_coldest"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 86,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.LRUPagingSimulator.resident_pages"
-    },
-    {
-      "calls": [
-        "repro.osmodel.cgroups.DynamicBudget.resident_limit",
-        "repro.osmodel.cgroups.ScaledBudget.resident_limit",
-        "repro.osmodel.cgroups.StaticBudget.resident_limit"
-      ],
-      "dispatches": [],
-      "line": 70,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.LRUPagingSimulator.touch"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 57,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.PagingCostModel.runtime"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 35,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.PagingStats.fault_rate"
-    },
-    {
-      "calls": [
-        "repro._util.stable_seed"
-      ],
-      "dispatches": [],
-      "line": 113,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.reference_string"
-    },
-    {
-      "calls": [
-        "repro.osmodel.paging.LRUPagingSimulator.__init__",
-        "repro.osmodel.paging.LRUPagingSimulator.touch",
-        "repro.osmodel.paging.PagingCostModel.runtime",
-        "repro.osmodel.paging.reference_string"
-      ],
-      "dispatches": [],
-      "line": 142,
-      "path": "src/repro/osmodel/paging.py",
-      "qual": "repro.osmodel.paging.run_capacity_simulation"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 27,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 38,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.allocate_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 62,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.allocated_pages"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.free_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 66,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.free_pages"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 69,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.is_allocated"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 81,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.take_cold_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 74,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.take_free_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 54,
-      "path": "src/repro/osmodel/vm.py",
-      "qual": "repro.osmodel.vm.VirtualMemory.touch"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 326,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.PressureCampaign.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 363,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.PressureCampaign.all_recovered"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 355,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.PressureCampaign.oom_escaped"
-    },
-    {
-      "calls": [
-        "repro.inject.campaign.CellOutcome.as_row",
-        "repro.pressure.campaign.PressureCellOutcome.as_row"
-      ],
-      "dispatches": [],
-      "line": 366,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.PressureCampaign.rows"
-    },
-    {
-      "calls": [
-        "repro.pressure.campaign.pressure_cell"
-      ],
-      "dispatches": [],
-      "line": 342,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.PressureCampaign.run"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 359,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.PressureCampaign.unreconciled"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 131,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.PressureCellOutcome.as_row"
-    },
-    {
-      "calls": [
-        "repro.inject.campaign.matches",
-        "repro.obs.tracer.Tracer.counts",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 156,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign._reconcile"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 85,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.parse_pressure_spec"
-    },
-    {
-      "calls": [
-        "repro._util.stable_seed",
-        "repro.core.ballooning.BalloonDriver.__init__",
-        "repro.core.config.compresso_config",
-        "repro.core.controller.CompressedMemoryController.__init__",
-        "repro.obs.tracer.Tracer.__init__",
-        "repro.obs.tracer.Tracer.counts",
-        "repro.osmodel.vm.VirtualMemory.__init__",
-        "repro.pressure.campaign._reconcile",
-        "repro.pressure.campaign.pressure_cell.one_write",
-        "repro.pressure.campaign.run_recovery_drill",
-        "repro.pressure.controller.PressureController.__init__",
-        "repro.pressure.controller.PressureController.metrics",
-        "repro.pressure.controller.PressureController.step",
-        "repro.runner.cache.ResultCache.get",
-        "repro.workloads.bursts.BurstSchedule.rate_at"
-      ],
-      "dispatches": [],
-      "line": 226,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.pressure_cell"
-    },
-    {
-      "calls": [
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.core.controller.CompressedMemoryController.free_page",
-        "repro.osmodel.paging.LRUPagingSimulator.touch",
-        "repro.osmodel.vm.VirtualMemory.allocate_page",
-        "repro.osmodel.vm.VirtualMemory.free_page",
-        "repro.osmodel.vm.VirtualMemory.is_allocated",
-        "repro.osmodel.vm.VirtualMemory.touch",
-        "repro.pressure.controller.PressureController.install",
-        "repro.pressure.controller.PressureController.write",
-        "repro.workloads.bursts.BurstSchedule.incompressible_fraction",
-        "repro.workloads.datagen.make_line"
-      ],
-      "dispatches": [],
-      "line": 258,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.pressure_cell.one_write"
-    },
-    {
-      "calls": [
-        "repro.core.ballooning.BalloonDriver.deflate",
-        "repro.core.ballooning.BalloonDriver.unprotect",
-        "repro.core.controller.CompressedMemoryController.scrub",
-        "repro.osmodel.vm.VirtualMemory.free_page",
-        "repro.osmodel.vm.VirtualMemory.is_allocated",
-        "repro.pressure.controller.PressureController.free",
-        "repro.pressure.controller.PressureController.step"
-      ],
-      "dispatches": [],
-      "line": 201,
-      "path": "src/repro/pressure/campaign.py",
-      "qual": "repro.pressure.campaign.run_recovery_drill"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 85,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureConfig.__post_init__"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.Histogram.__init__",
-        "repro.osmodel.paging.LRUPagingSimulator.__init__",
-        "repro.pressure.controller.TokenBucket.__init__"
-      ],
-      "dispatches": [],
-      "line": 201,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.__init__"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.pressure.controller.TokenBucket.take",
-        "repro.pressure.controller.TokenBucket.wait_clocks"
-      ],
-      "dispatches": [],
-      "line": 319,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController._admit"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.osmodel.cgroups.DynamicBudget.resident_limit",
-        "repro.osmodel.cgroups.ScaledBudget.resident_limit",
-        "repro.osmodel.cgroups.StaticBudget.resident_limit",
-        "repro.pressure.controller.PressureController._page_out"
-      ],
-      "dispatches": [],
-      "line": 354,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController._enforce_budget"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 406,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController._escalation_victim"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.free_page",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.osmodel.paging.LRUPagingSimulator.evict_coldest",
-        "repro.osmodel.vm.VirtualMemory.free_page"
-      ],
-      "dispatches": [],
-      "line": 367,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController._page_out"
-    },
-    {
-      "calls": [
-        "repro.memory.allocator.AllocatorStats.observe",
-        "repro.memory.allocator.ChunkAllocator.observe",
-        "repro.memory.allocator.VariableAllocator.observe",
-        "repro.obs.metrics.Histogram.observe",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.osmodel.paging.LRUPagingSimulator.touch",
-        "repro.osmodel.vm.VirtualMemory.touch",
-        "repro.pressure.controller.PressureController._admit",
-        "repro.pressure.controller.PressureController._enforce_budget",
-        "repro.pressure.controller.PressureController._tenant",
-        "repro.pressure.controller.PressureController._update_pressure_state",
-        "repro.pressure.controller.PressureController._watchdog"
-      ],
-      "dispatches": [],
-      "line": 277,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController._request"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 494,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController._tenant"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.pressure.controller.PressureController.utilization"
-      ],
-      "dispatches": [],
-      "line": 428,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController._update_pressure_state"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.scrub",
-        "repro.obs.tracer.NullTracer.emit",
-        "repro.obs.tracer.Tracer.emit",
-        "repro.pressure.controller.PressureController._escalation_victim",
-        "repro.pressure.controller.PressureController._page_out",
-        "repro.pressure.controller.PressureController._update_pressure_state"
-      ],
-      "dispatches": [],
-      "line": 379,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController._watchdog"
-    },
-    {
-      "calls": [
-        "repro.osmodel.cgroups.DynamicBudget.resident_limit",
-        "repro.osmodel.cgroups.ScaledBudget.resident_limit",
-        "repro.osmodel.cgroups.StaticBudget.resident_limit",
-        "repro.pressure.controller.jain_index"
-      ],
-      "dispatches": [],
-      "line": 449,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.fairness"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.free_page",
-        "repro.osmodel.paging.LRUPagingSimulator.drop",
-        "repro.osmodel.vm.VirtualMemory.free_page",
-        "repro.pressure.controller.PressureController._tenant",
-        "repro.pressure.controller.PressureController._update_pressure_state"
-      ],
-      "dispatches": [],
-      "line": 262,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.free"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.install_page",
-        "repro.pressure.controller.PressureController._request",
-        "repro.simulation.simulator.UncompressedController.install_page"
-      ],
-      "dispatches": [],
-      "line": 246,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.install"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.Histogram.percentile",
-        "repro.pressure.controller.PressureController.fairness",
-        "repro.pressure.controller.PressureController.utilization"
-      ],
-      "dispatches": [],
-      "line": 462,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.metrics"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.read_line",
-        "repro.osmodel.paging.LRUPagingSimulator.touch",
-        "repro.osmodel.vm.VirtualMemory.touch",
-        "repro.pressure.controller.PressureController._tenant",
-        "repro.simulation.simulator.UncompressedController.read_line"
-      ],
-      "dispatches": [],
-      "line": 253,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.read"
-    },
-    {
-      "calls": [
-        "repro.pressure.controller.PressureController._update_pressure_state",
-        "repro.pressure.controller.PressureController._watchdog"
-      ],
-      "dispatches": [],
-      "line": 270,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.step"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 420,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.utilization"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.write_line",
-        "repro.pressure.controller.PressureController._request",
-        "repro.simulation.simulator.UncompressedController.write_line"
-      ],
-      "dispatches": [],
-      "line": 239,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.PressureController.write"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 115,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.TenantSpec.__post_init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 128,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.TokenBucket.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 138,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.TokenBucket._refill"
-    },
-    {
-      "calls": [
-        "repro.pressure.controller.TokenBucket._refill"
-      ],
-      "dispatches": [],
-      "line": 144,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.TokenBucket.take"
-    },
-    {
-      "calls": [
-        "repro.pressure.controller.TokenBucket._refill"
-      ],
-      "dispatches": [],
-      "line": 152,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.TokenBucket.wait_clocks"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 52,
-      "path": "src/repro/pressure/controller.py",
-      "qual": "repro.pressure.controller.jain_index"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 36,
-      "path": "src/repro/results/cli.py",
-      "qual": "repro.results.cli._default_sources"
-    },
-    {
-      "calls": [
-        "repro.results.index.ResultsIndex.ingest_bench_file",
-        "repro.results.index.ResultsIndex.ingest_journal"
-      ],
-      "dispatches": [],
-      "line": 41,
-      "path": "src/repro/results/cli.py",
-      "qual": "repro.results.cli._ingest"
-    },
-    {
-      "calls": [
-        "repro.results.compare.compare_runs",
-        "repro.results.compare.render_comparison",
-        "repro.results.index.ResultsIndex.__init__",
-        "repro.runner.journal.RunJournal.__init__",
-        "repro.runner.journal.RunJournal.event"
-      ],
-      "dispatches": [],
-      "line": 129,
-      "path": "src/repro/results/cli.py",
-      "qual": "repro.results.cli.compare_main"
-    },
-    {
-      "calls": [
-        "repro.obs.tracer.Tracer.counts",
-        "repro.results.cli._default_sources",
-        "repro.results.cli._ingest",
-        "repro.results.index.ResultsIndex.__init__",
-        "repro.results.index.ResultsIndex.counts",
-        "repro.results.index.ResultsIndex.metric_names",
-        "repro.results.index.ResultsIndex.resolve_run",
-        "repro.results.index.ResultsIndex.runs",
-        "repro.runner.cache.ResultCache.get",
-        "repro.runner.journal.RunJournal.__init__",
-        "repro.runner.journal.RunJournal.event"
-      ],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/results/cli.py",
-      "qual": "repro.results.cli.index_main"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 100,
-      "path": "src/repro/results/compare.py",
-      "qual": "repro.results.compare.Comparison.improvements"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 96,
-      "path": "src/repro/results/compare.py",
-      "qual": "repro.results.compare.Comparison.regressions"
-    },
-    {
-      "calls": [
-        "repro.results.compare.metric_direction",
-        "repro.results.stats.min_achievable_p",
-        "repro.results.stats.significance"
-      ],
-      "dispatches": [],
-      "line": 104,
-      "path": "src/repro/results/compare.py",
-      "qual": "repro.results.compare._judge"
-    },
-    {
-      "calls": [
-        "repro.results.compare._judge",
-        "repro.results.index.ResultsIndex.metric_samples",
-        "repro.results.index.ResultsIndex.resolve_run"
-      ],
-      "dispatches": [],
-      "line": 134,
-      "path": "src/repro/results/compare.py",
-      "qual": "repro.results.compare.compare_runs"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 56,
-      "path": "src/repro/results/compare.py",
-      "qual": "repro.results.compare.metric_direction"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 165,
-      "path": "src/repro/results/compare.py",
-      "qual": "repro.results.compare.render_comparison"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 132,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.__enter__"
-    },
-    {
-      "calls": [
-        "repro.results.index.ResultsIndex.close"
-      ],
-      "dispatches": [],
-      "line": 135,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.__exit__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 125,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 353,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex._ingest_bench_event"
-    },
-    {
-      "calls": [
-        "repro.results.index.flatten_metrics",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 329,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex._ingest_unit_end"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 362,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex._upsert_run"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 315,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.bench_history"
-    },
-    {
-      "calls": [
-        "repro.results.index.ResultsIndex.close"
-      ],
-      "dispatches": [],
-      "line": 138,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.close"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 143,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.counts"
-    },
-    {
-      "calls": [
-        "repro.results.index.ResultsIndex._upsert_run",
-        "repro.results.index.ResultsIndex.counts",
-        "repro.results.index._int_or_null",
-        "repro.results.index.flatten_metrics",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 202,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.ingest_bench_file"
-    },
-    {
-      "calls": [
-        "repro.results.index.ResultsIndex._ingest_bench_event",
-        "repro.results.index.ResultsIndex._ingest_unit_end",
-        "repro.results.index.ResultsIndex._upsert_run",
-        "repro.results.index.ResultsIndex.counts",
-        "repro.results.index._text_or_null",
-        "repro.runner.cache.ResultCache.get",
-        "repro.runner.journal.read_journal",
-        "repro.runner.journal.validate_event"
-      ],
-      "dispatches": [],
-      "line": 151,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.ingest_journal"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 287,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.metric_names"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 293,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.metric_samples"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 264,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.resolve_run"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 257,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.runs"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 281,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.ResultsIndex.units_for"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 384,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index._int_or_null"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 378,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index._text_or_null"
-    },
-    {
-      "calls": [
-        "repro.results.index.flatten_metrics"
-      ],
-      "dispatches": [],
-      "line": 101,
-      "path": "src/repro/results/index.py",
-      "qual": "repro.results.index.flatten_metrics"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 53,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats._normal_cdf"
-    },
-    {
-      "calls": [
-        "repro.results.stats.mean"
-      ],
-      "dispatches": [],
-      "line": 57,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats.bootstrap_ci"
-    },
-    {
-      "calls": [
-        "repro.results.stats._normal_cdf"
-      ],
-      "dispatches": [],
-      "line": 163,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats.mann_whitney"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 37,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats.mean"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 145,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats.min_achievable_p"
-    },
-    {
-      "calls": [
-        "repro.results.stats.mean"
-      ],
-      "dispatches": [],
-      "line": 104,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats.permutation_test"
-    },
-    {
-      "calls": [
-        "repro.results.stats.mann_whitney",
-        "repro.results.stats.mean",
-        "repro.results.stats.permutation_test"
-      ],
-      "dispatches": [],
-      "line": 222,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats.significance"
-    },
-    {
-      "calls": [
-        "repro.results.stats.mean"
-      ],
-      "dispatches": [],
-      "line": 43,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats.stddev"
-    },
-    {
-      "calls": [
-        "repro.results.stats.mean",
-        "repro.results.stats.stddev"
-      ],
-      "dispatches": [],
-      "line": 83,
-      "path": "src/repro/results/stats.py",
-      "qual": "repro.results.stats.welch_t"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 48,
-      "path": "src/repro/runner/cache.py",
-      "qual": "repro.runner.cache.ResultCache.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 122,
-      "path": "src/repro/runner/cache.py",
-      "qual": "repro.runner.cache.ResultCache.__len__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 52,
-      "path": "src/repro/runner/cache.py",
-      "qual": "repro.runner.cache.ResultCache._path"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 101,
-      "path": "src/repro/runner/cache.py",
-      "qual": "repro.runner.cache.ResultCache._quarantine"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 113,
-      "path": "src/repro/runner/cache.py",
-      "qual": "repro.runner.cache.ResultCache.clear"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache._path",
-        "repro.runner.cache.ResultCache._quarantine",
-        "repro.runner.cache.ResultCache.get",
-        "repro.runner.cache.payload_checksum"
-      ],
-      "dispatches": [],
-      "line": 55,
-      "path": "src/repro/runner/cache.py",
-      "qual": "repro.runner.cache.ResultCache.get"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache._path",
-        "repro.runner.cache.payload_checksum",
-        "repro.runner.units.canonical",
-        "repro.runner.units.code_version"
-      ],
-      "dispatches": [],
-      "line": 82,
-      "path": "src/repro/runner/cache.py",
-      "qual": "repro.runner.cache.ResultCache.put"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 37,
-      "path": "src/repro/runner/cache.py",
-      "qual": "repro.runner.cache.payload_checksum"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 123,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner.__init__"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get",
-        "repro.runner.journal.RunJournal.event",
-        "repro.runner.units.WorkUnit.seed"
-      ],
-      "dispatches": [],
-      "line": 337,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner._finish"
-    },
-    {
-      "calls": [
-        "repro.runner.journal.RunJournal.event",
-        "repro.runner.units.WorkUnit.seed"
-      ],
-      "dispatches": [],
-      "line": 326,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner._journal_start"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 317,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner._normalize"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 371,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner._progress_end"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 360,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner._progress_line"
-    },
-    {
-      "calls": [
-        "repro.runner.executor.Runner._finish",
-        "repro.runner.journal.RunJournal.event"
-      ],
-      "dispatches": [],
-      "line": 282,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner._retry_or_fail"
-    },
-    {
-      "calls": [
-        "repro.results.index.ResultsIndex.close",
-        "repro.runner.cache.ResultCache.get",
-        "repro.runner.executor.Runner._finish",
-        "repro.runner.executor.Runner._normalize",
-        "repro.runner.executor.Runner._progress_line",
-        "repro.runner.executor.Runner._retry_or_fail",
-        "repro.runner.executor.Runner._store",
-        "repro.runner.executor._worker"
-      ],
-      "dispatches": [
-        "repro.runner.executor._worker"
-      ],
-      "line": 200,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner._run_isolated"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.put"
-      ],
-      "dispatches": [],
-      "line": 321,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner._store"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 195,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner.cache_hits"
-    },
-    {
-      "calls": [
-        "repro.check.flow.callgraph._FunctionAnalyzer.run",
-        "repro.inject.campaign.FaultCampaign.run",
-        "repro.pressure.campaign.PressureCampaign.run",
-        "repro.runner.cache.ResultCache.get",
-        "repro.runner.executor.Runner._finish",
-        "repro.runner.executor.Runner._journal_start",
-        "repro.runner.executor.Runner._normalize",
-        "repro.runner.executor.Runner._progress_end",
-        "repro.runner.executor.Runner._progress_line",
-        "repro.runner.executor.Runner._run_isolated",
-        "repro.runner.executor.Runner._store",
-        "repro.runner.units.WorkUnit.key",
-        "repro.runner.units.WorkUnit.run"
-      ],
-      "dispatches": [],
-      "line": 145,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.Runner.map"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.put"
-      ],
-      "dispatches": [],
-      "line": 74,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor._worker"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 377,
-      "path": "src/repro/runner/executor.py",
-      "qual": "repro.runner.executor.timing_table"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 164,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal.RunJournal.__init__"
-    },
-    {
-      "calls": [
-        "repro.cache.cache.Cache.flush",
-        "repro.cache.hierarchy.CacheHierarchy.flush",
-        "repro.compression.bitstream.BitWriter.write",
-        "repro.core.metadata_cache.MetadataCache.flush",
-        "repro.pressure.controller.PressureController.write"
-      ],
-      "dispatches": [],
-      "line": 170,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal.RunJournal.event"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 143,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal._check_int"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 95,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal._check_number_map"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 131,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal._check_sanitizer"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 108,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal._check_timeline"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get",
-        "repro.runner.journal.read_journal"
-      ],
-      "dispatches": [],
-      "line": 238,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal.find_interrupted"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 218,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal.read_journal"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 188,
-      "path": "src/repro/runner/journal.py",
-      "qual": "repro.runner.journal.validate_event"
-    },
-    {
-      "calls": [
-        "repro.runner.units.unit_key"
-      ],
-      "dispatches": [],
-      "line": 77,
-      "path": "src/repro/runner/units.py",
-      "qual": "repro.runner.units.WorkUnit.key"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 97,
-      "path": "src/repro/runner/units.py",
-      "qual": "repro.runner.units.WorkUnit.run"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 80,
-      "path": "src/repro/runner/units.py",
-      "qual": "repro.runner.units.WorkUnit.seed"
-    },
-    {
-      "calls": [
-        "repro.runner.units.canonical"
-      ],
-      "dispatches": [],
-      "line": 23,
-      "path": "src/repro/runner/units.py",
-      "qual": "repro.runner.units.canonical"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 53,
-      "path": "src/repro/runner/units.py",
-      "qual": "repro.runner.units.code_version"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc._PlaneCoder.encode",
-        "repro.core.metadata.PageMetadata.encode",
-        "repro.runner.units.canonical",
-        "repro.runner.units.code_version"
-      ],
-      "dispatches": [],
-      "line": 101,
-      "path": "src/repro/runner/units.py",
-      "qual": "repro.runner.units.unit_key"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 49,
-      "path": "src/repro/simulation/capacity.py",
-      "qual": "repro.simulation.capacity.CapacityResult.relative"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 54,
-      "path": "src/repro/simulation/capacity.py",
-      "qual": "repro.simulation.capacity.CapacityResult.stalled"
-    },
-    {
-      "calls": [
-        "repro.osmodel.cgroups.DynamicBudget.__init__",
-        "repro.osmodel.paging.PagingStats.fault_rate",
-        "repro.osmodel.paging.run_capacity_simulation"
-      ],
-      "dispatches": [],
-      "line": 62,
-      "path": "src/repro/simulation/capacity.py",
-      "qual": "repro.simulation.capacity.capacity_impact"
-    },
-    {
-      "calls": [
-        "repro.osmodel.cgroups.DynamicBudget.__init__",
-        "repro.osmodel.paging.LRUPagingSimulator.__init__",
-        "repro.osmodel.paging.LRUPagingSimulator.touch",
-        "repro.osmodel.paging.PagingCostModel.runtime",
-        "repro.osmodel.paging.PagingStats.fault_rate",
-        "repro.osmodel.paging.reference_string"
-      ],
-      "dispatches": [],
-      "line": 103,
-      "path": "src/repro/simulation/capacity.py",
-      "qual": "repro.simulation.capacity.multicore_capacity_impact"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints.IntervalProfile.feature_vector"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 192,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints.PointSelection.estimate_ratio"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc.BPCCompressor.__init__"
-      ],
-      "dispatches": [],
-      "line": 62,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints._SizeTracker.__init__"
-    },
-    {
-      "calls": [
-        "repro.compression.bpc.BPCCompressor.compress",
-        "repro.compression.zero.is_zero_line",
-        "repro.core.packing.choose_bin",
-        "repro.runner.cache.ResultCache.get"
-      ],
-      "dispatches": [],
-      "line": 67,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints._SizeTracker.line_bin_bytes"
-    },
-    {
-      "calls": [
-        "repro.obs.metrics.Histogram.mean"
-      ],
-      "dispatches": [],
-      "line": 150,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints.kmeans"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get",
-        "repro.simulation.compresspoints._SizeTracker.__init__",
-        "repro.simulation.compresspoints._SizeTracker.line_bin_bytes",
-        "repro.simulation.compresspoints.profile_intervals.page_entry",
-        "repro.workloads.tracegen.TraceGenerator.__init__",
-        "repro.workloads.tracegen.TraceGenerator.events",
-        "repro.workloads.tracegen.TraceGenerator.overwrite_class_at",
-        "repro.workloads.tracegen.Workload.__init__",
-        "repro.workloads.tracegen.Workload.apply_writeback"
-      ],
-      "dispatches": [],
-      "line": 77,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints.profile_intervals"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get",
-        "repro.simulation.compresspoints._SizeTracker.line_bin_bytes",
-        "repro.workloads.tracegen.Workload.line_data"
-      ],
-      "dispatches": [],
-      "line": 92,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints.profile_intervals.page_entry"
-    },
-    {
-      "calls": [
-        "repro.simulation.compresspoints.PointSelection.estimate_ratio"
-      ],
-      "dispatches": [],
-      "line": 225,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints.representativeness_error"
-    },
-    {
-      "calls": [
-        "repro.simulation.compresspoints.IntervalProfile.feature_vector",
-        "repro.simulation.compresspoints.kmeans"
-      ],
-      "dispatches": [],
-      "line": 200,
-      "path": "src/repro/simulation/compresspoints.py",
-      "qual": "repro.simulation.compresspoints.select_points"
-    },
-    {
-      "calls": [
-        "repro.core.config.compresso_config"
-      ],
-      "dispatches": [],
-      "line": 90,
-      "path": "src/repro/simulation/configs.py",
-      "qual": "repro.simulation.configs.chunk_vs_variable_configs"
-    },
-    {
-      "calls": [
-        "repro.core.config.CompressoConfig.replace",
-        "repro.core.config.compresso_config"
-      ],
-      "dispatches": [],
-      "line": 54,
-      "path": "src/repro/simulation/configs.py",
-      "qual": "repro.simulation.configs.optimization_ladder"
-    },
-    {
-      "calls": [
-        "repro.core.config.compresso_config",
-        "repro.core.config.lcp_align_config",
-        "repro.core.config.lcp_config"
-      ],
-      "dispatches": [],
-      "line": 41,
-      "path": "src/repro/simulation/configs.py",
-      "qual": "repro.simulation.configs.system_config"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 50,
-      "path": "src/repro/simulation/full_hierarchy.py",
-      "qual": "repro.simulation.full_hierarchy.FullHierarchyResult.llc_mpki"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 55,
-      "path": "src/repro/simulation/full_hierarchy.py",
-      "qual": "repro.simulation.full_hierarchy.FullHierarchyResult.speedup_over"
-    },
-    {
-      "calls": [
-        "repro._util.stable_seed"
-      ],
-      "dispatches": [],
-      "line": 61,
-      "path": "src/repro/simulation/full_hierarchy.py",
-      "qual": "repro.simulation.full_hierarchy._core_stream"
-    },
-    {
-      "calls": [
-        "repro.cache.hierarchy.CacheHierarchy.__init__",
-        "repro.cache.hierarchy.CacheHierarchy.access",
-        "repro.cache.hierarchy.CacheHierarchy.flush",
-        "repro.cache.hierarchy.CacheHierarchy.stats",
-        "repro.core.controller.CompressedMemoryController.compression_ratio",
-        "repro.core.controller.CompressedMemoryController.flush_metadata",
-        "repro.core.controller.CompressedMemoryController.install_page",
-        "repro.core.controller.CompressedMemoryController.read_line",
-        "repro.core.controller.CompressedMemoryController.write_line",
-        "repro.cpu.core.AnalyticCore.__init__",
-        "repro.cpu.core.AnalyticCore.advance_instructions",
-        "repro.cpu.core.AnalyticCore.stall",
-        "repro.memory.dram.DRAMSystem.__init__",
-        "repro.simulation.full_hierarchy._core_stream",
-        "repro.simulation.simulator.UncompressedController.compression_ratio",
-        "repro.simulation.simulator.UncompressedController.flush_metadata",
-        "repro.simulation.simulator.UncompressedController.install_page",
-        "repro.simulation.simulator.UncompressedController.read_line",
-        "repro.simulation.simulator.UncompressedController.write_line",
-        "repro.simulation.simulator._build_controller",
-        "repro.simulation.simulator._issue",
-        "repro.workloads.tracegen.Workload.__init__",
-        "repro.workloads.tracegen.Workload.apply_writeback",
-        "repro.workloads.tracegen.Workload.page_lines"
-      ],
-      "dispatches": [],
-      "line": 93,
-      "path": "src/repro/simulation/full_hierarchy.py",
-      "qual": "repro.simulation.full_hierarchy.simulate_full_hierarchy"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 47,
-      "path": "src/repro/simulation/multicore.py",
-      "qual": "repro.simulation.multicore.MulticoreResult.speedup_over"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.compression_ratio",
-        "repro.core.controller.CompressedMemoryController.flush_metadata",
-        "repro.core.controller.CompressedMemoryController.install_page",
-        "repro.core.stats.ControllerStats.metadata_hit_rate",
-        "repro.cpu.core.AnalyticCore.__init__",
-        "repro.memory.dram.DRAMSystem.__init__",
-        "repro.obs.timeline.timeline_digest",
-        "repro.obs.tracer.NullTracer.phase",
-        "repro.obs.tracer.Tracer.phase",
-        "repro.simulation.simulator.EventEngine.__init__",
-        "repro.simulation.simulator.UncompressedController.compression_ratio",
-        "repro.simulation.simulator.UncompressedController.flush_metadata",
-        "repro.simulation.simulator.UncompressedController.install_page",
-        "repro.simulation.simulator._build_controller",
-        "repro.workloads.datagen.PageImageGenerator.page_lines",
-        "repro.workloads.tracegen.TraceGenerator.__init__",
-        "repro.workloads.tracegen.TraceGenerator.events",
-        "repro.workloads.tracegen.Workload.__init__",
-        "repro.workloads.tracegen.Workload.page_lines"
-      ],
-      "dispatches": [],
-      "line": 56,
-      "path": "src/repro/simulation/multicore.py",
-      "qual": "repro.simulation.multicore.simulate_multicore"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 26,
-      "path": "src/repro/simulation/overall.py",
-      "qual": "repro.simulation.overall.OverallResult.overall"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 31,
-      "path": "src/repro/simulation/overall.py",
-      "qual": "repro.simulation.overall.OverallResult.unconstrained_bound"
-    },
-    {
-      "calls": [
-        "repro.simulation.capacity.CapacityResult.relative",
-        "repro.simulation.full_hierarchy.FullHierarchyResult.speedup_over",
-        "repro.simulation.multicore.MulticoreResult.speedup_over",
-        "repro.simulation.simulator.SimulationResult.speedup_over"
-      ],
-      "dispatches": [],
-      "line": 35,
-      "path": "src/repro/simulation/overall.py",
-      "qual": "repro.simulation.overall.combine"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 184,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.EventEngine.__init__"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.read_line",
-        "repro.core.controller.CompressedMemoryController.write_line",
-        "repro.cpu.core.AnalyticCore.advance_instructions",
-        "repro.cpu.core.AnalyticCore.stall",
-        "repro.simulation.simulator.UncompressedController.read_line",
-        "repro.simulation.simulator.UncompressedController.write_line",
-        "repro.simulation.simulator._issue",
-        "repro.workloads.tracegen.TraceGenerator.overwrite_class_at",
-        "repro.workloads.tracegen.Workload.apply_writeback"
-      ],
-      "dispatches": [],
-      "line": 197,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.EventEngine.step"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 105,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.SimulationResult.ipc"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 115,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.SimulationResult.mean_ratio"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 108,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.SimulationResult.speedup_over"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 124,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.UncompressedController.__init__"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 147,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.UncompressedController.compression_ratio"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 150,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.UncompressedController.flush_metadata"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 144,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.UncompressedController.install_page"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 129,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.UncompressedController.read_line"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 136,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.UncompressedController.write_line"
-    },
-    {
-      "calls": [
-        "repro.core.config.CompressoConfig.replace",
-        "repro.core.controller.CompressedMemoryController.__init__",
-        "repro.simulation.configs.system_config",
-        "repro.simulation.simulator.UncompressedController.__init__"
-      ],
-      "dispatches": [],
-      "line": 154,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator._build_controller"
-    },
-    {
-      "calls": [
-        "repro.memory.dram.DRAMSystem.access"
-      ],
-      "dispatches": [],
-      "line": 314,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator._issue"
-    },
-    {
-      "calls": [
-        "repro.simulation.simulator.simulate"
-      ],
-      "dispatches": [],
-      "line": 340,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.run_benchmark_systems"
-    },
-    {
-      "calls": [
-        "repro.core.controller.CompressedMemoryController.compression_ratio",
-        "repro.core.controller.CompressedMemoryController.flush_metadata",
-        "repro.core.controller.CompressedMemoryController.install_page",
-        "repro.core.controller.CompressedMemoryController.prime_size_cache",
-        "repro.core.stats.ControllerStats.metadata_hit_rate",
-        "repro.cpu.core.AnalyticCore.__init__",
-        "repro.inject.faults.FaultInjector.__init__",
-        "repro.inject.faults.FaultInjector.bind",
-        "repro.inject.faults.FaultInjector.step",
-        "repro.memory.dram.DRAMSystem.__init__",
-        "repro.obs.timeline.timeline_digest",
-        "repro.obs.tracer.NullTracer.phase",
-        "repro.obs.tracer.Tracer.phase",
-        "repro.simulation.simulator.EventEngine.__init__",
-        "repro.simulation.simulator.EventEngine.step",
-        "repro.simulation.simulator.UncompressedController.compression_ratio",
-        "repro.simulation.simulator.UncompressedController.flush_metadata",
-        "repro.simulation.simulator.UncompressedController.install_page",
-        "repro.simulation.simulator._build_controller",
-        "repro.workloads.tracegen.TraceGenerator.__init__",
-        "repro.workloads.tracegen.TraceGenerator.events",
-        "repro.workloads.tracegen.Workload.__init__",
-        "repro.workloads.tracegen.Workload.page_lines"
-      ],
-      "dispatches": [],
-      "line": 229,
-      "path": "src/repro/simulation/simulator.py",
-      "qual": "repro.simulation.simulator.simulate"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 65,
-      "path": "src/repro/workloads/bursts.py",
-      "qual": "repro.workloads.bursts.BurstSchedule.__post_init__"
-    },
-    {
-      "calls": [
-        "repro.workloads.bursts._plateau"
-      ],
-      "dispatches": [],
-      "line": 87,
-      "path": "src/repro/workloads/bursts.py",
-      "qual": "repro.workloads.bursts.BurstSchedule.incompressible_fraction"
-    },
-    {
-      "calls": [
-        "repro.workloads.bursts._plateau"
-      ],
-      "dispatches": [],
-      "line": 72,
-      "path": "src/repro/workloads/bursts.py",
-      "qual": "repro.workloads.bursts.BurstSchedule.rate_at"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 99,
-      "path": "src/repro/workloads/bursts.py",
-      "qual": "repro.workloads.bursts.BurstSchedule.receded"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 43,
-      "path": "src/repro/workloads/bursts.py",
-      "qual": "repro.workloads.bursts._plateau"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 107,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen.LinePool.__init__"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get",
-        "repro.workloads.datagen._rng",
-        "repro.workloads.datagen.make_line"
-      ],
-      "dispatches": [],
-      "line": 114,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen.LinePool.line"
-    },
-    {
-      "calls": [
-        "repro.workloads.datagen.LinePool.__init__"
-      ],
-      "dispatches": [],
-      "line": 137,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen.PageImageGenerator.__init__"
-    },
-    {
-      "calls": [
-        "repro.workloads.datagen.PageImageGenerator.page_class",
-        "repro.workloads.datagen.PageImageGenerator.secondary_class",
-        "repro.workloads.datagen._rng"
-      ],
-      "dispatches": [],
-      "line": 169,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen.PageImageGenerator.line"
-    },
-    {
-      "calls": [
-        "repro.workloads.datagen._rng"
-      ],
-      "dispatches": [],
-      "line": 155,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen.PageImageGenerator.page_class"
-    },
-    {
-      "calls": [
-        "repro.workloads.datagen.PageImageGenerator.line"
-      ],
-      "dispatches": [],
-      "line": 187,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen.PageImageGenerator.page_lines"
-    },
-    {
-      "calls": [
-        "repro.workloads.datagen._rng"
-      ],
-      "dispatches": [],
-      "line": 161,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen.PageImageGenerator.secondary_class"
-    },
-    {
-      "calls": [
-        "repro._util.stable_seed"
-      ],
-      "dispatches": [],
-      "line": 55,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen._rng"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 60,
-      "path": "src/repro/workloads/datagen.py",
-      "qual": "repro.workloads.datagen.make_line"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 32,
-      "path": "src/repro/workloads/mixes.py",
-      "qual": "repro.workloads.mixes.mix_profiles"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 69,
-      "path": "src/repro/workloads/profiles.py",
-      "qual": "repro.workloads.profiles.BenchmarkProfile.phase_at"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 79,
-      "path": "src/repro/workloads/profiles.py",
-      "qual": "repro.workloads.profiles._p"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 257,
-      "path": "src/repro/workloads/profiles.py",
-      "qual": "repro.workloads.profiles.get_profile"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 96,
-      "path": "src/repro/workloads/tracegen.py",
-      "qual": "repro.workloads.tracegen.TraceGenerator.__init__"
-    },
-    {
-      "calls": [
-        "repro._util.stable_seed"
-      ],
-      "dispatches": [],
-      "line": 101,
-      "path": "src/repro/workloads/tracegen.py",
-      "qual": "repro.workloads.tracegen.TraceGenerator.events"
-    },
-    {
-      "calls": [
-        "repro.workloads.profiles.BenchmarkProfile.phase_at"
-      ],
-      "dispatches": [],
-      "line": 138,
-      "path": "src/repro/workloads/tracegen.py",
-      "qual": "repro.workloads.tracegen.TraceGenerator.overwrite_class_at"
-    },
-    {
-      "calls": [
-        "repro.workloads.datagen.PageImageGenerator.__init__"
-      ],
-      "dispatches": [],
-      "line": 42,
-      "path": "src/repro/workloads/tracegen.py",
-      "qual": "repro.workloads.tracegen.Workload.__init__"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get",
-        "repro.workloads.tracegen.Workload.line_data"
-      ],
-      "dispatches": [],
-      "line": 70,
-      "path": "src/repro/workloads/tracegen.py",
-      "qual": "repro.workloads.tracegen.Workload.apply_writeback"
-    },
-    {
-      "calls": [
-        "repro.runner.cache.ResultCache.get",
-        "repro.workloads.datagen.PageImageGenerator.line"
-      ],
-      "dispatches": [],
-      "line": 61,
-      "path": "src/repro/workloads/tracegen.py",
-      "qual": "repro.workloads.tracegen.Workload.line_data"
-    },
-    {
-      "calls": [
-        "repro.workloads.tracegen.Workload.line_data"
-      ],
-      "dispatches": [],
-      "line": 86,
-      "path": "src/repro/workloads/tracegen.py",
-      "qual": "repro.workloads.tracegen.Workload.page_lines"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 89,
-      "path": "src/repro/workloads/tracegen.py",
-      "qual": "repro.workloads.tracegen.Workload.touched_lines"
-    },
-    {
-      "calls": [
-        "repro.check.driver.run_lint",
-        "repro.check.findings.format_finding"
-      ],
-      "dispatches": [],
-      "line": 40,
-      "path": "scripts/check_docs.py",
-      "qual": "scripts.check_docs.main"
-    },
-    {
-      "calls": [
-        "repro.check.driver.run_lint",
-        "repro.check.findings.format_finding"
-      ],
-      "dispatches": [],
-      "line": 36,
-      "path": "scripts/check_instrumentation.py",
-      "qual": "scripts.check_instrumentation.main"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 34,
-      "path": "scripts/update_experiments_md.py",
-      "qual": "scripts.update_experiments_md.extract_summaries"
-    },
-    {
-      "calls": [
-        "scripts.update_experiments_md.extract_summaries",
-        "scripts.update_experiments_md.regenerate_text",
-        "scripts.update_experiments_md.update_doc"
-      ],
-      "dispatches": [],
-      "line": 103,
-      "path": "scripts/update_experiments_md.py",
-      "qual": "scripts.update_experiments_md.main"
-    },
-    {
-      "calls": [
-        "repro.analysis.__main__._invoke",
-        "repro.analysis.report.render",
-        "repro.runner.cache.ResultCache.__init__",
-        "repro.runner.executor.Runner.__init__",
-        "repro.runner.journal.RunJournal.__init__"
-      ],
-      "dispatches": [],
-      "line": 60,
-      "path": "scripts/update_experiments_md.py",
-      "qual": "scripts.update_experiments_md.regenerate_text"
-    },
-    {
-      "calls": [],
-      "dispatches": [],
-      "line": 83,
-      "path": "scripts/update_experiments_md.py",
-      "qual": "scripts.update_experiments_md.update_doc"
+"""Structured lint findings.
+
+A :class:`Finding` is the unit every rule reports: repo-relative path,
+1-based line, the rule id that fired, a severity, and a human message.
+Findings are frozen dataclasses so they sort deterministically, hash
+into sets (the parallel driver deduplicates on merge), and cross the
+``multiprocessing`` boundary by value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Recognized severities, most severe first.  ``error`` findings fail
+#: the lint run; ``warning`` findings are reported but do not.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One problem a rule found at one source location."""
+
+    path: str          # repo-relative, forward slashes
+    line: int          # 1-based; 0 = whole file
+    rule: str          # rule id, e.g. "mutable-default"
+    severity: str      # one of SEVERITIES
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+
+def format_finding(finding: Finding) -> str:
+    """Render one finding the way compilers do: ``path:line: message``."""
+    location = f"{finding.path}:{finding.line}" if finding.line else finding.path
+    return f"{location}: [{finding.rule}] {finding.severity}: {finding.message}"
+
+
+def to_sarif(findings) -> dict:
+    """SARIF-lite: the subset of SARIF 2.1.0 CI viewers consume.
+
+    One run, one result per finding, rule ids as ruleId, severity
+    mapped onto SARIF levels.  Deterministic (findings sorted) so the
+    artifact diffs cleanly between lint runs.
+    """
+    results = []
+    rules_seen = {}
+    for finding in sorted(findings):
+        rules_seen.setdefault(finding.rule, {"id": finding.rule})
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+            }],
+        })
+    return {
+        "version": "2.1.0",
+        "$schema": ("https://json.schemastore.org/sarif-2.1.0.json"),
+        "runs": [{
+            "tool": {"driver": {
+                "name": "reprolint",
+                "rules": [rules_seen[rule_id]
+                          for rule_id in sorted(rules_seen)],
+            }},
+            "results": results,
+        }],
     }
-  ],
-  "modules": [
-    "repro",
-    "repro._util",
-    "repro.analysis",
-    "repro.analysis.__main__",
-    "repro.analysis.bench",
-    "repro.analysis.experiments",
-    "repro.analysis.export",
-    "repro.analysis.report",
-    "repro.cache",
-    "repro.cache.cache",
-    "repro.cache.hierarchy",
-    "repro.check",
-    "repro.check.builtin_rules",
-    "repro.check.driver",
-    "repro.check.findings",
-    "repro.check.flow",
-    "repro.check.flow.callgraph",
-    "repro.check.flow.engine",
-    "repro.check.flow.rules",
-    "repro.check.flow.symbols",
-    "repro.check.rules",
-    "repro.check.sanitizer",
-    "repro.compression",
-    "repro.compression.base",
-    "repro.compression.bdi",
-    "repro.compression.bitstream",
-    "repro.compression.bpc",
-    "repro.compression.cpack",
-    "repro.compression.fpc",
-    "repro.compression.lz",
-    "repro.compression.selector",
-    "repro.compression.vector",
-    "repro.compression.vector.batch",
-    "repro.compression.vector.bdi",
-    "repro.compression.vector.bpc",
-    "repro.compression.vector.fpc",
-    "repro.compression.vector.layout",
-    "repro.compression.vector.zero",
-    "repro.compression.zero",
-    "repro.core",
-    "repro.core.allocator",
-    "repro.core.ballooning",
-    "repro.core.config",
-    "repro.core.controller",
-    "repro.core.lcp",
-    "repro.core.linepack",
-    "repro.core.metadata",
-    "repro.core.metadata_cache",
-    "repro.core.packing",
-    "repro.core.predictor",
-    "repro.core.stats",
-    "repro.cpu",
-    "repro.cpu.core",
-    "repro.energy.area",
-    "repro.energy.model",
-    "repro.inject",
-    "repro.inject.campaign",
-    "repro.inject.faults",
-    "repro.memory",
-    "repro.memory.allocator",
-    "repro.memory.dram",
-    "repro.memory.physical",
-    "repro.memory.request",
-    "repro.obs",
-    "repro.obs.export",
-    "repro.obs.metrics",
-    "repro.obs.timeline",
-    "repro.obs.tracer",
-    "repro.osmodel",
-    "repro.osmodel.cgroups",
-    "repro.osmodel.paging",
-    "repro.osmodel.vm",
-    "repro.pressure",
-    "repro.pressure.campaign",
-    "repro.pressure.controller",
-    "repro.results",
-    "repro.results.cli",
-    "repro.results.compare",
-    "repro.results.index",
-    "repro.results.stats",
-    "repro.runner",
-    "repro.runner.cache",
-    "repro.runner.executor",
-    "repro.runner.journal",
-    "repro.runner.units",
-    "repro.simulation",
-    "repro.simulation.capacity",
-    "repro.simulation.compresspoints",
-    "repro.simulation.configs",
-    "repro.simulation.full_hierarchy",
-    "repro.simulation.multicore",
-    "repro.simulation.overall",
-    "repro.simulation.simulator",
-    "repro.workloads",
-    "repro.workloads.bursts",
-    "repro.workloads.datagen",
-    "repro.workloads.mixes",
-    "repro.workloads.profiles",
-    "repro.workloads.tracegen",
-    "scripts.check_docs",
-    "scripts.check_instrumentation",
-    "scripts.update_experiments_md"
-  ],
-  "schema": "repro-callgraph/1"
-}

@@ -199,6 +199,12 @@ class SharedStateRaceRule(FlowRule):
         "repro.runner.units.WorkUnit",
         "repro.runner.units.WorkUnit.__init__",
         "repro.analysis.experiments._run_units",
+        # Shard spawn sites: the supervisor dispatches its `worker=`
+        # callable into per-shard processes (docs/SHARDING.md).
+        "repro.shard.supervisor.ShardSupervisor",
+        "repro.shard.supervisor.ShardSupervisor.__init__",
+        "repro.shard.supervisor.ShardSupervisor.resume",
+        "repro.shard.supervisor.simulate_multicore_sharded",
     })
 
     def _trusted_sites(self, program: FlowProgram):

@@ -97,6 +97,22 @@ EVENT_SOURCES: Dict[str, Optional[str]] = {
     "watchdog_escalation": None,       # degraded-mode dwell bound exceeded
     "pressure_oom_absorbed": None,     # OutOfMemoryError caught at this layer
     "balloon_protect_skip": None,      # balloon held a protected page intact
+    # Sharded-run supervision (repro.shard, docs/SHARDING.md).  All
+    # informational: process-boundary observations, not extra accesses.
+    "shard_spawn": None,               # worker process started
+    "shard_exit": None,                # worker found dead (e.g. SIGKILL)
+    "shard_kill": None,                # supervisor killed a worker
+    "shard_respawn": None,             # dead worker restarted from spec
+    "shard_replay": None,              # journaled commands re-sent
+    "shard_heartbeat_miss": None,      # reply missed its deadline
+    "shard_resend": None,              # reply re-solicited via ping
+    "shard_backpressure": None,        # bounded command queue was full
+    "shard_quarantine": None,          # poison frame quarantined
+    "shard_msg_dup": None,             # duplicate sequence number seen
+    "shard_msg_reorder": None,         # stale-unseen sequence number seen
+    "shard_divergence": None,          # replicated digests disagreed
+    "shard_result": None,              # one shard's final payload landed
+    "chaos_injected": None,            # process-level chaos fault fired
 }
 
 

@@ -20,6 +20,14 @@ as :class:`UnitFailure` (``strict=True`` raises
 return ``None`` for the failed cells).  Passing ``timeout`` or
 ``retries`` routes even single-job sweeps through child processes,
 since a hang can only be killed across a process boundary.
+
+Unit processes are daemonic by default so a dying parent takes its
+workers with it.  Units that must spawn their own subprocesses — the
+sharded simulation's supervisor (docs/SHARDING.md) — need
+``allow_children=True``, which drops the daemon flag.  That mode
+refuses ``timeout``: SIGTERM-killing a supervisor unit would orphan
+its grandchildren, and the supervisor carries its own heartbeat
+watchdog anyway.
 """
 
 from __future__ import annotations
@@ -118,13 +126,18 @@ class Runner:
         strict: raise :class:`UnitFailureError` at the end of ``map``
             if any unit failed permanently (otherwise its result slot
             is ``None`` and the failure is listed in ``failures``).
+        allow_children: spawn unit processes non-daemonic so they may
+            create subprocesses of their own (the sharded simulation's
+            supervisor needs this).  Incompatible with ``timeout`` —
+            killing such a unit would orphan its children.
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
                  journal: Optional[RunJournal] = None,
                  progress: bool = False,
                  timeout: Optional[float] = None, retries: int = 0,
-                 backoff: float = 0.25, strict: bool = True) -> None:
+                 backoff: float = 0.25, strict: bool = True,
+                 allow_children: bool = False) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.journal = journal
@@ -133,6 +146,11 @@ class Runner:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if allow_children and timeout is not None:
+            raise ValueError(
+                "allow_children is incompatible with timeout: killing a "
+                "unit that hosts subprocesses would orphan them")
+        self.allow_children = allow_children
         self.timeout = timeout
         self.retries = int(retries)
         self.backoff = backoff
@@ -217,7 +235,8 @@ class Runner:
                 payload = (task.index, task.attempt, task.unit.fn,
                            dict(task.unit.params))
                 task.proc = ctx.Process(target=_worker,
-                                        args=(payload, queue), daemon=True)
+                                        args=(payload, queue),
+                                        daemon=not self.allow_children)
                 task.started = time.perf_counter()
                 task.deadline = (None if self.timeout is None
                                  else now + self.timeout)

@@ -37,6 +37,16 @@ event           required fields (beyond ``event``, ``run_id``, ``ts``)
                 cross-run comparison
                 (``python -m repro.analysis compare``,
                 docs/RESULTS.md)
+``shard_run_start``  ``shards`` (int), ``mix`` (str), ``system``
+                (str), ``total_steps`` (int) — one supervised sharded
+                run begins (docs/SHARDING.md)
+``shard_recover``  ``shard`` (int), ``respawns`` (int), ``replayed``
+                (int) — one kill→respawn→replay recovery
+``shard_run_end``  ``shards`` (int), ``agreed`` (bool), ``digest``
+                (str) — the run merged with N-way digest agreement
+``chaos``       ``cells`` (int), ``injected`` (int), ``silent``
+                (int), ``divergent`` (int), ``clean`` (bool) — one
+                ``python -m repro.analysis chaos`` campaign digest
 ==============  =====================================================
 
 ``unit_end`` additionally carries ``stats`` (a ControllerStats summary
@@ -64,6 +74,7 @@ import json
 import os
 import time
 import uuid
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -87,6 +98,14 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
     "index": {"db": (str,), "sources": (list,), "inserted": (int,)},
     "compare": {"db": (str,), "run_a": (str,), "run_b": (str,),
                 "metrics": (int,), "regressions": (int,)},
+    "shard_run_start": {"shards": (int,), "mix": (str,),
+                        "system": (str,), "total_steps": (int,)},
+    "shard_recover": {"shard": (int,), "respawns": (int,),
+                      "replayed": (int,)},
+    "shard_run_end": {"shards": (int,), "agreed": (bool,),
+                      "digest": (str,)},
+    "chaos": {"cells": (int,), "injected": (int,), "silent": (int,),
+              "divergent": (int,), "clean": (bool,)},
 }
 
 _COMMON_FIELDS = {"event": (str,), "run_id": (str,), "ts": (int, float)}
@@ -219,17 +238,39 @@ def read_journal(path: str | Path,
                  skip_invalid: bool = False) -> List[Dict[str, Any]]:
     """Parse every event in a ``runs.jsonl`` file (skipping blank lines).
 
-    With ``skip_invalid`` unparsable lines are dropped instead of
-    raising — a journal surviving a crash may end in one torn line.
+    A torn *final* line — the signature of a crash mid-append, since
+    every append is fsynced whole — is repaired, not propagated: the
+    file is truncated back to the last valid newline (with a warning)
+    and the surviving prefix is returned, so the next append continues
+    a well-formed journal instead of gluing onto half a record.  An
+    undecodable line anywhere *else* is genuine corruption and raises,
+    unless ``skip_invalid`` drops it.
     """
+    target = Path(path)
+    data = target.read_bytes()
     records: List[Dict[str, Any]] = []
-    text = Path(path).read_text()
-    for line in text.splitlines():
-        if not line.strip():
+    offset = 0
+    for raw_line in data.splitlines(keepends=True):
+        line_start = offset
+        offset += len(raw_line)
+        line = raw_line.decode("utf-8", errors="replace").strip()
+        if not line:
             continue
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError:
+            if not data[offset:].strip():
+                # Torn final line: truncate to the last valid newline.
+                warnings.warn(
+                    f"{target}: torn final line "
+                    f"({len(raw_line)} bytes) truncated",
+                    RuntimeWarning, stacklevel=2)
+                try:
+                    with target.open("r+b") as handle:
+                        handle.truncate(line_start)
+                except OSError:
+                    pass   # unwritable journal: still return the prefix
+                break
             if not skip_invalid:
                 raise
     return records

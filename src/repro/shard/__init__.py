@@ -1,0 +1,97 @@
+"""Supervised sharded simulation: fault-tolerant worker processes with
+heartbeats, deterministic replay, and chaos campaigns.
+
+See docs/SHARDING.md for the full design.  Quick tour:
+
+* :class:`ShardTopology` — consistent-hash page→shard routing
+  (``repro.shard.topology``);
+* message schema, :class:`SequenceTracker` and the replayable
+  :class:`MessageLog` (``repro.shard.messages``);
+* :class:`ShardWorker` / :func:`shard_main` — the deterministic
+  replica with partitioned payload bytes (``repro.shard.worker``);
+* :class:`ShardSupervisor` / :class:`ShardRunConfig` /
+  :func:`simulate_multicore_sharded` — heartbeats, backpressure,
+  quarantine, kill-respawn-replay recovery, N-way agreement
+  (``repro.shard.supervisor``);
+* :class:`ChaosInjector` / :class:`ChaosCampaign` — process-level
+  fault sweeps reconciled against ``shard_*`` trace events
+  (``repro.shard.chaos``).
+
+Enable with ``SimulationConfig(shards=N)`` or ``repro.analysis run
+--shards N``; the merged result is byte-identical to the
+single-process ``simulate_multicore``.
+"""
+
+from .chaos import (
+    CHAOS_SITES,
+    ChaosCampaign,
+    ChaosCellOutcome,
+    ChaosInjector,
+    ChaosRecord,
+    ChaosSpec,
+    chaos_cell,
+    parse_chaos_spec,
+    reconcile_chaos,
+)
+from .messages import (
+    COMMAND_KINDS,
+    REPLY_KINDS,
+    MessageLog,
+    PoisonMessageError,
+    SequenceTracker,
+    decode_message,
+    encode_message,
+    make_message,
+    quarantine_poison,
+)
+from .supervisor import (
+    ShardDivergenceError,
+    ShardError,
+    ShardRunConfig,
+    ShardSupervisor,
+    simulate_multicore_sharded,
+)
+from .topology import ShardTopology
+from .worker import (
+    ShardSpec,
+    ShardWorker,
+    canonical_json,
+    payload_to_result,
+    result_payload,
+    shard_main,
+    state_digest,
+)
+
+__all__ = [
+    "CHAOS_SITES",
+    "COMMAND_KINDS",
+    "REPLY_KINDS",
+    "ChaosCampaign",
+    "ChaosCellOutcome",
+    "ChaosInjector",
+    "ChaosRecord",
+    "ChaosSpec",
+    "MessageLog",
+    "PoisonMessageError",
+    "SequenceTracker",
+    "ShardDivergenceError",
+    "ShardError",
+    "ShardRunConfig",
+    "ShardSpec",
+    "ShardSupervisor",
+    "ShardTopology",
+    "ShardWorker",
+    "canonical_json",
+    "chaos_cell",
+    "decode_message",
+    "encode_message",
+    "make_message",
+    "parse_chaos_spec",
+    "payload_to_result",
+    "quarantine_poison",
+    "reconcile_chaos",
+    "result_payload",
+    "shard_main",
+    "simulate_multicore_sharded",
+    "state_digest",
+]

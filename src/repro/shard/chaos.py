@@ -1,0 +1,432 @@
+"""Process-level chaos: kill, stall, and mangle shard traffic — then
+prove every fault was seen (docs/SHARDING.md).
+
+The :class:`ChaosInjector` extends the cycle-level fault machinery of
+``repro.inject`` to the process boundary.  Its sites are the failure
+modes a sharded run is exposed to that a single-process run is not:
+
+* ``kill`` — SIGKILL a live worker mid-run;
+* ``stall-heartbeat`` — delay one worker's replies past the deadline;
+* ``drop`` / ``dup`` / ``reorder`` — lose, repeat, or delay one
+  worker→supervisor frame;
+* ``poison`` — corrupt one frame so it fails schema validation.
+
+Every committed fault is a :class:`ChaosRecord`; :func:`reconcile_chaos`
+matches each record against the supervisor's ``shard_*`` trace events
+exactly like ``repro.inject.campaign`` matches cycle-level faults: a
+fault with no detection event is **silent**, and the campaign's
+deliverable is that the silent column is zero *and* the chaosed run's
+merged result stays byte-identical to the unchaosed one.
+
+``stall-heartbeat`` is the one pressure-style site (the analogue of
+``alloc-exhaust`` in the fault campaign): a stall that elapses while
+the supervisor happens not to be waiting on that shard never crosses
+the deadline, so an undetected stall is **masked**, not silent.  The
+five remaining sites have deterministic observables and are held to
+the strict standard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import tempfile
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import Tracer
+from ..simulation.multicore import simulate_multicore
+from ..simulation.simulator import SimulationConfig
+from ..workloads.profiles import get_profile
+from .supervisor import (
+    ShardDivergenceError,
+    ShardError,
+    ShardRunConfig,
+    ShardSupervisor,
+)
+from .worker import canonical_json, result_payload
+
+#: Process-level chaos sites (the ``site:rate[:burst]`` grammar of
+#: ``parse_chaos_spec`` — same shape as ``repro.inject.faults``).
+CHAOS_SITES: Tuple[str, ...] = (
+    "kill", "stall-heartbeat", "drop", "dup", "reorder", "poison")
+
+#: Message-path chaos mixed into every campaign cell alongside the
+#: swept kill rate.
+DEFAULT_MESSAGE_CHAOS = "drop:0.08,dup:0.08,reorder:0.08,poison:0.05"
+
+#: Event names that count as *detection*, per chaos site.  ``shard_exit``
+#: appears for the message sites too: a frame erased by a concurrent
+#: kill is repaired by that kill's replay, and the exit event is the
+#: honest detection of the channel loss.
+_DETECT: Dict[str, Tuple[str, ...]] = {
+    "kill": ("shard_exit", "shard_heartbeat_miss"),
+    "stall-heartbeat": ("shard_heartbeat_miss",),
+    "drop": ("shard_heartbeat_miss", "shard_exit"),
+    "dup": ("shard_msg_dup", "shard_exit"),
+    "reorder": ("shard_msg_reorder", "shard_heartbeat_miss", "shard_exit"),
+    "poison": ("shard_quarantine", "shard_exit"),
+}
+
+#: Event names that count as *recovery*, per chaos site.  Duplicate and
+#: reordered frames are absorbed by the sequence tracker itself, so
+#: their detection event is also their recovery.
+_RECOVER: Dict[str, Tuple[str, ...]] = {
+    "kill": ("shard_replay",),
+    "stall-heartbeat": ("shard_resend", "shard_replay"),
+    "drop": ("shard_resend", "shard_replay"),
+    "dup": ("shard_msg_dup", "shard_replay"),
+    "reorder": ("shard_msg_reorder", "shard_resend", "shard_replay"),
+    "poison": ("shard_resend", "shard_replay"),
+}
+
+#: Sites whose faults are only observable when they cross a deadline
+#: the supervisor was actually watching; undetected ones are *masked*.
+_PRESSURE_SITES: Tuple[str, ...] = ("stall-heartbeat",)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos site armed at a per-segment probability."""
+
+    site: str
+    rate: float
+    burst: int = 1
+
+
+def parse_chaos_spec(text: str) -> List[ChaosSpec]:
+    """Parse ``site:rate[:burst]`` comma-separated chaos specs.
+
+    Example: ``"kill:0.1,drop:0.05,poison:0.02:2"`` — the grammar of
+    the fault-injection CLI (docs/ROBUSTNESS.md), with process-level
+    sites.
+    """
+    specs: List[ChaosSpec] = []
+    for part in str(text).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields_ = part.split(":")
+        if len(fields_) not in (2, 3):
+            raise ValueError(
+                f"bad chaos spec {part!r}: expected site:rate[:burst]")
+        site = fields_[0].strip()
+        if site not in CHAOS_SITES:
+            raise ValueError(f"unknown chaos site {site!r} "
+                             f"(known: {', '.join(CHAOS_SITES)})")
+        try:
+            rate = float(fields_[1])
+            burst = int(fields_[2]) if len(fields_) == 3 else 1
+        except ValueError:
+            raise ValueError(
+                f"bad chaos spec {part!r}: rate must be a float and "
+                f"burst an int") from None
+        specs.append(ChaosSpec(site, rate, burst))
+    if not specs:
+        raise ValueError(f"empty chaos spec: {text!r}")
+    return specs
+
+
+@dataclass(frozen=True)
+class ChaosRecord:
+    """One committed chaos fault (recorded at the moment it bit)."""
+
+    chaos_id: int
+    site: str
+    shard: int
+    clock: int
+    detail: str = ""
+
+
+class ChaosInjector:
+    """Seeded process-level fault source bound to one supervisor run.
+
+    The supervisor calls :meth:`on_segment` once per segment (kills and
+    stalls fire there) and routes every received frame through
+    :meth:`intercept` (drop/dup/reorder/poison apply there).  Only
+    *committed* faults produce records — an armed message fault that
+    never saw a frame to mangle never happened.
+    """
+
+    def __init__(self, specs: Sequence[ChaosSpec] | str,
+                 seed: int = 0) -> None:
+        if isinstance(specs, str):
+            specs = parse_chaos_spec(specs)
+        self.specs = list(specs)
+        self.rng = random.Random(f"chaos:{seed}")
+        self.records: List[ChaosRecord] = []
+        self._pending: Dict[int, Deque[str]] = defaultdict(deque)
+        self._held: Dict[int, str] = {}
+        self._chaos_id = 0
+        self._supervisor: Optional[ShardSupervisor] = None
+
+    @property
+    def committed(self) -> int:
+        return len(self.records)
+
+    def _record(self, site: str, shard: int, detail: str = "") -> None:
+        self._chaos_id += 1
+        tracer = (self._supervisor.tracer if self._supervisor is not None
+                  else None)
+        clock = getattr(tracer, "clock", 0)
+        record = ChaosRecord(self._chaos_id, site, shard, clock, detail)
+        self.records.append(record)
+        if tracer is not None:
+            tracer.emit("chaos_injected", site=site, shard=shard,
+                        chaos_id=record.chaos_id)
+
+    def on_segment(self, supervisor: ShardSupervisor) -> None:
+        """Roll every armed site once for this segment."""
+        self._supervisor = supervisor
+        for spec in self.specs:
+            if self.rng.random() >= spec.rate:
+                continue
+            for _ in range(max(1, spec.burst)):
+                self._fire(spec.site, supervisor)
+
+    def _fire(self, site: str, supervisor: ShardSupervisor) -> None:
+        live = [shard for shard in supervisor.shards
+                if shard.result_text is None and shard.process is not None
+                and shard.process.is_alive()]
+        if not live:
+            return
+        shard = self.rng.choice(live)
+        if site == "kill":
+            shard.process.kill()
+            self._record(site, shard.id)
+        elif site == "stall-heartbeat":
+            # Enough to cross the deadline when the supervisor is
+            # watching; a stall it never waits out is masked, not
+            # silent (module docstring).
+            seconds = supervisor.config.heartbeat_timeout_s * 2.5
+            supervisor.send_stall(shard.id, seconds)
+            self._record(site, shard.id, detail=f"{seconds:.2f}s")
+        else:
+            # Message sites arm here and commit in intercept(), when a
+            # frame actually exists to mangle.
+            self._pending[shard.id].append(site)
+
+    def intercept(self, shard_id: int, raw: str) -> List[str]:
+        """Apply pending message chaos to one received frame.
+
+        Returns the frames to deliver in order (possibly none — drop
+        and the holding half of reorder — or two — dup, and the
+        releasing half of reorder).
+        """
+        held = self._held.pop(shard_id, None)
+        pending = self._pending.get(shard_id)
+        site = pending.popleft() if pending else None
+        if site == "drop" and '"kind":"hello"' in raw:
+            # Nothing awaits the handshake frame, so dropping it could
+            # never be observed; keep the drop armed for the next
+            # awaited data frame instead.
+            pending.appendleft(site)
+            site = None
+        if held is not None and site is not None and site != "dup":
+            # The frame releasing a held one must itself be delivered:
+            # destroying it (drop/poison) or holding it too would put
+            # the held frame back in sequence order and void the
+            # reorder's observable.  Defer the new fault one frame.
+            pending.appendleft(site)
+            site = None
+        if site == "drop":
+            self._record("drop", shard_id)
+            out: List[str] = []
+        elif site == "dup":
+            self._record("dup", shard_id)
+            out = [raw, raw]
+        elif site == "poison":
+            self._record("poison", shard_id)
+            out = [raw[:-1] + "~" if raw else "~"]
+        elif site == "reorder":
+            self._record("reorder", shard_id)
+            self._held[shard_id] = raw
+            out = []
+        else:
+            out = [raw]
+        if held is not None:
+            out.append(held)   # the held frame lands *after* a newer one
+        return out
+
+
+def _matches_shard(events, names: Tuple[str, ...], shard: int,
+                   clock: int) -> bool:
+    """Shard-scoped twin of ``repro.inject.campaign.matches``: is there
+    an event in ``names`` for this shard at or after ``clock``?"""
+    for event in events:
+        if event.name not in names or event.clock < clock:
+            continue
+        if (event.args or {}).get("shard") != shard:
+            continue
+        return True
+    return False
+
+
+@dataclass
+class ChaosCellOutcome:
+    """Reconciled outcome of one (shard count, kill rate) cell."""
+
+    shards: int
+    kill_rate: float
+    injected: int = 0
+    detected: int = 0
+    recovered: int = 0
+    masked: int = 0
+    silent: int = 0
+    #: Chaosed merged result differed from the unchaosed baseline —
+    #: the one outcome the campaign exists to rule out.
+    divergent: bool = False
+    respawns: int = 0
+    error: str = ""
+    #: chaos_id -> ("detected"/"recovered"/"masked"/"silent")
+    outcomes: Dict[int, str] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        return {"shards": self.shards, "kill_rate": self.kill_rate,
+                "injected": self.injected, "detected": self.detected,
+                "recovered": self.recovered, "masked": self.masked,
+                "silent": self.silent, "divergent": self.divergent,
+                "respawns": self.respawns, "error": self.error}
+
+
+def reconcile_chaos(records: Sequence[ChaosRecord],
+                    events) -> ChaosCellOutcome:
+    """Classify every chaos record against the supervisor trace."""
+    outcome = ChaosCellOutcome(shards=0, kill_rate=0.0)
+    for record in records:
+        outcome.injected += 1
+        detected = _matches_shard(events, _DETECT[record.site],
+                                  record.shard, record.clock)
+        recovered = detected and _matches_shard(
+            events, _RECOVER[record.site], record.shard, record.clock)
+        if detected:
+            outcome.detected += 1
+            if recovered:
+                outcome.recovered += 1
+            outcome.outcomes[record.chaos_id] = (
+                "recovered" if recovered else "detected")
+        elif record.site in _PRESSURE_SITES:
+            outcome.masked += 1
+            outcome.outcomes[record.chaos_id] = "masked"
+        else:
+            outcome.silent += 1
+            outcome.outcomes[record.chaos_id] = "silent"
+    return outcome
+
+
+def chaos_cell(n_shards: int, kill_rate: float,
+               message_spec: str = DEFAULT_MESSAGE_CHAOS,
+               benchmarks: Sequence[str] = ("gcc", "mcf"),
+               system: str = "compresso", seed: int = 0,
+               n_events: int = 600, scale: float = 0.02,
+               segment_steps: int = 150,
+               heartbeat_timeout_s: float = 1.5) -> ChaosCellOutcome:
+    """One chaosed sharded run, reconciled against its own baseline.
+
+    The baseline is the *single-process* ``simulate_multicore`` result:
+    the chaosed, killed, replayed, N-shard run must merge to the exact
+    same canonical payload.
+    """
+    profiles = [get_profile(name) for name in benchmarks]
+    sim = SimulationConfig(n_events=n_events, scale=scale, seed=seed)
+    baseline_text = canonical_json(
+        result_payload(simulate_multicore(profiles, system, sim)))
+
+    spec_text = f"kill:{kill_rate}"
+    if message_spec:
+        spec_text += f",{message_spec}"
+    injector = ChaosInjector(parse_chaos_spec(spec_text), seed=seed)
+    tracer = Tracer()
+    config = ShardRunConfig(segment_steps=segment_steps,
+                            heartbeat_timeout_s=heartbeat_timeout_s,
+                            ping_retries=1, max_respawns=32)
+    divergent = False
+    error = ""
+    supervisor = None
+    with tempfile.TemporaryDirectory(prefix="chaos-cell-") as run_dir:
+        supervisor = ShardSupervisor(
+            profiles, system, dataclasses.replace(sim, shards=n_shards),
+            n_shards, config=config, run_dir=run_dir, tracer=tracer,
+            chaos=injector)
+        try:
+            result = supervisor.run()
+            divergent = (canonical_json(result_payload(result))
+                         != baseline_text)
+        except ShardDivergenceError as exc:
+            divergent = True
+            error = str(exc)
+        except ShardError as exc:
+            error = str(exc)
+        finally:
+            supervisor.close()
+
+    outcome = reconcile_chaos(injector.records, tracer.events)
+    outcome.shards = n_shards
+    outcome.kill_rate = kill_rate
+    outcome.divergent = divergent
+    outcome.error = error
+    outcome.respawns = sum(shard.respawns for shard in supervisor.shards)
+    return outcome
+
+
+class ChaosCampaign:
+    """Sweep kill-rate x shard-count; every cell must come back clean.
+
+    The driver behind ``python -m repro.analysis chaos``
+    (docs/SHARDING.md): across shard counts and kill rates (with
+    message-path chaos mixed into every cell), the deliverable is
+    **zero silent faults and zero divergent cells** — every committed
+    fault reconciles to a ``shard_*`` trace event, and every merged
+    result is byte-identical to the unchaosed single-process run.
+    """
+
+    def __init__(self, shard_counts: Sequence[int] = (2, 4, 8),
+                 kill_rates: Sequence[float] = (0.05, 0.2),
+                 message_spec: str = DEFAULT_MESSAGE_CHAOS,
+                 benchmarks: Sequence[str] = ("gcc", "mcf"),
+                 system: str = "compresso", seed: int = 0,
+                 n_events: int = 600, scale: float = 0.02,
+                 segment_steps: int = 150,
+                 heartbeat_timeout_s: float = 1.5) -> None:
+        if message_spec:
+            parse_chaos_spec(message_spec)   # validate sites up front
+        self.shard_counts = tuple(shard_counts)
+        self.kill_rates = tuple(kill_rates)
+        self.message_spec = message_spec
+        self.benchmarks = tuple(benchmarks)
+        self.system = system
+        self.seed = seed
+        self.n_events = n_events
+        self.scale = scale
+        self.segment_steps = segment_steps
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.cells: List[ChaosCellOutcome] = []
+
+    def run(self) -> List[ChaosCellOutcome]:
+        """Run every (shard count, kill rate) cell; cached on self."""
+        self.cells = [
+            chaos_cell(n_shards, rate, message_spec=self.message_spec,
+                       benchmarks=self.benchmarks, system=self.system,
+                       seed=self.seed, n_events=self.n_events,
+                       scale=self.scale, segment_steps=self.segment_steps,
+                       heartbeat_timeout_s=self.heartbeat_timeout_s)
+            for n_shards in self.shard_counts for rate in self.kill_rates
+        ]
+        return self.cells
+
+    @property
+    def silent_faults(self) -> int:
+        return sum(cell.silent for cell in self.cells)
+
+    @property
+    def divergent_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.divergent)
+
+    @property
+    def clean(self) -> bool:
+        return (self.silent_faults == 0 and self.divergent_cells == 0
+                and not any(cell.error for cell in self.cells))
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [cell.as_row() for cell in self.cells]

@@ -1,0 +1,210 @@
+"""Shard message schema, framing, and the replayable inbound log.
+
+Every byte crossing a shard process boundary is one JSON object with a
+``kind``, a per-sender ``seq``, and kind-specific fields
+(docs/SHARDING.md).  The schema here is the contract both sides
+validate: a message that fails :func:`decode_message` is *poison* and
+is quarantined by the supervisor rather than interpreted.
+
+Sequence numbers make the channel idempotent: worker→supervisor
+progress is **cumulative** (each message carries the worker's total
+step count and state digest), so a dropped message is superseded by
+the next one, a duplicated message is recognized by its stale ``seq``,
+and a reordered message is recognized as stale-but-unseen.  The
+:class:`SequenceTracker` classifies exactly those three cases.
+
+:class:`MessageLog` is the replay journal: one per shard, holding the
+worker's spec (its seed and workload parameters) followed by every
+command the supervisor sent it, fsynced before the send.  A killed
+worker respawned from its spec and replayed from this log reaches
+byte-identical state — the replay invariant the recovery tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..runner.journal import read_journal
+
+#: Commands the supervisor sends a worker.  ``stall`` is a chaos
+#: directive (docs/SHARDING.md); it is journaled with ``chaos: true``
+#: and stripped on replay, so recovery never re-injects the fault.
+COMMAND_KINDS: Dict[str, Dict[str, tuple]] = {
+    "run": {"until": (int,)},
+    "ping": {},
+    "stall": {"seconds": (int, float)},
+    "finish": {},
+    "stop": {},
+}
+
+#: Replies a worker sends the supervisor.  ``progress`` and ``result``
+#: are cumulative: ``steps`` is the worker's global step count so far
+#: and ``digest`` the canonical hash of its replicated state.
+REPLY_KINDS: Dict[str, Dict[str, tuple]] = {
+    "hello": {"shard": (int,), "steps": (int,)},
+    "progress": {"shard": (int,), "steps": (int,), "digest": (str,)},
+    "result": {"shard": (int,), "steps": (int,), "digest": (str,),
+               "payload": (dict,)},
+    "error": {"shard": (int,), "message": (str,)},
+}
+
+MESSAGE_KINDS: Dict[str, Dict[str, tuple]] = {**COMMAND_KINDS, **REPLY_KINDS}
+
+
+class PoisonMessageError(ValueError):
+    """A message that failed framing or schema validation."""
+
+
+def make_message(kind: str, seq: int, **fields: Any) -> Dict[str, Any]:
+    """Build and validate one message dict."""
+    message = {"kind": kind, "seq": seq, **fields}
+    problems = validate_message(message)
+    if problems:
+        raise ValueError(f"bad {kind!r} message: {'; '.join(problems)}")
+    return message
+
+
+def validate_message(message: Any) -> List[str]:
+    """Schema problems for one decoded message (empty = valid)."""
+    if not isinstance(message, dict):
+        return [f"not an object ({type(message).__name__})"]
+    kind = message.get("kind")
+    if kind not in MESSAGE_KINDS:
+        return [f"unknown kind {kind!r}"]
+    problems: List[str] = []
+    seq = message.get("seq")
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+        problems.append(f"seq {seq!r} is not a non-negative int")
+    for name, types in MESSAGE_KINDS[kind].items():
+        if name not in message:
+            problems.append(f"missing field {name!r}")
+        elif isinstance(message[name], bool) and bool not in types:
+            problems.append(f"field {name!r} has type bool")
+        elif not isinstance(message[name], types):
+            problems.append(f"field {name!r} has type "
+                            f"{type(message[name]).__name__}")
+    return problems
+
+
+def encode_message(message: Dict[str, Any]) -> str:
+    """Canonical one-line JSON framing (stable key order)."""
+    return json.dumps(message, sort_keys=True, separators=(",", ":"))
+
+
+def decode_message(text: Any) -> Dict[str, Any]:
+    """Parse and validate one framed message; poison raises."""
+    if not isinstance(text, str):
+        raise PoisonMessageError(
+            f"frame is not a string ({type(text).__name__})")
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PoisonMessageError(f"undecodable frame: {exc}") from None
+    problems = validate_message(message)
+    if problems:
+        raise PoisonMessageError("; ".join(problems))
+    return message
+
+
+class SequenceTracker:
+    """Classify one sender's stream into new / duplicate / stale.
+
+    ``duplicate`` — a seq already delivered (the dup chaos site);
+    ``stale`` — a seq below the high-water mark never seen before (the
+    reorder chaos site: it was held back past a newer message).  Both
+    are absorbed by the cumulative-progress protocol; the classes only
+    exist so the supervisor can emit the matching ``shard_msg_*``
+    observation event for chaos reconciliation.
+    """
+
+    def __init__(self) -> None:
+        self.high = -1
+        self._seen: set = set()
+
+    def classify(self, seq: int) -> str:
+        if seq in self._seen:
+            return "duplicate"
+        self._seen.add(seq)
+        if seq <= self.high:
+            return "stale"
+        self.high = seq
+        return "new"
+
+
+class MessageLog:
+    """Append-only replay log: one shard's spec + inbound commands.
+
+    Each append is flushed and fsynced before the supervisor sends the
+    corresponding message, so the log is always at least as complete
+    as what the worker may have seen — the invariant replay relies on.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # flowcheck: boundary(log bytes are replay provenance fsynced to disk; simulated results never read them)
+    def append(self, record: Dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(encode_message(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # flowcheck: boundary(spec header is replay provenance; simulated results never read it)
+    def write_spec(self, spec: Dict[str, Any]) -> None:
+        """First record: the worker's full deterministic spec."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps({"spec": spec}, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def log_command(self, message: Dict[str, Any],
+                    chaos: bool = False) -> None:
+        """Journal one supervisor→worker command before it is sent."""
+        record = dict(message)
+        if chaos:
+            record["chaos"] = True
+        self.append(record)
+
+    def read(self) -> Tuple[Optional[Dict[str, Any]],
+                            List[Dict[str, Any]]]:
+        """(spec, commands) from the log; tolerates a torn final line.
+
+        The torn-tail recovery is :func:`repro.runner.journal.
+        read_journal`'s: a record cut short by a crash mid-append is
+        truncated away (with a warning), never half-parsed.
+        """
+        if not self.path.exists():
+            return None, []
+        spec: Optional[Dict[str, Any]] = None
+        commands: List[Dict[str, Any]] = []
+        for record in read_journal(self.path, skip_invalid=True):
+            if "spec" in record and spec is None:
+                spec = record["spec"]
+            elif "kind" in record:
+                commands.append(record)
+        return spec, commands
+
+    def replayable(self) -> List[Dict[str, Any]]:
+        """Logged commands minus chaos directives (replay strips them)."""
+        _, commands = self.read()
+        return [dict(command) for command in commands
+                if not command.get("chaos")]
+
+
+# flowcheck: boundary(quarantine file is diagnostic provenance; simulated results never read it)
+def quarantine_poison(path: str | Path, raw: Any, reason: str,
+                      shard: int) -> None:
+    """Append one poison frame to the quarantine file (never raises
+    on undecodable payloads — the frame is stored ``repr``-escaped)."""
+    record = {"shard": shard, "reason": reason, "raw": repr(raw)}
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -1,0 +1,556 @@
+"""Shard supervisor: heartbeats, backpressure, quarantine, replay
+(docs/SHARDING.md).
+
+The supervisor owns the robustness contract of a sharded multicore
+run.  It spawns one worker process per shard, drives all of them in
+bounded segment windows (the command queue is bounded and the window
+is ``max_inflight`` segments — backpressure, not unbounded buffering),
+and treats every reply with suspicion: frames that fail schema
+validation are quarantined as poison, stale and duplicate sequence
+numbers are absorbed and counted, and a shard that misses its
+heartbeat deadline is pinged, then killed, respawned from its spec,
+and **replayed** from its journaled command log.  Replay is verified,
+not assumed: every digest a replayed worker reports is compared
+against the digest the run had already agreed on at that step, so a
+recovery that failed to reach byte-identical state is a loud
+``shard_divergence``, never silent.
+
+Per-segment digests must agree across *all* shards (the control plane
+is replicated — docs/SHARDING.md); the merged result is the N-way
+agreed payload, byte-identical to the single-process
+``simulate_multicore`` output.  Agreement checkpoints are persisted to
+``supervisor.jsonl`` in the run directory, so a supervisor that dies
+can itself be resumed (:meth:`ShardSupervisor.resume`) and its
+replacement re-verifies the replayed prefix against the checkpoints
+the dead supervisor had recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import queue
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..obs import NULL_TRACER
+from ..runner.journal import read_journal
+from ..simulation.multicore import MulticoreResult
+from ..simulation.simulator import SimulationConfig
+from ..workloads.profiles import get_profile
+from .messages import (
+    MessageLog,
+    PoisonMessageError,
+    SequenceTracker,
+    decode_message,
+    encode_message,
+    make_message,
+    quarantine_poison,
+)
+from .worker import ShardSpec, canonical_json, payload_to_result, shard_main
+
+#: Seconds a killed worker gets to die before the join is abandoned
+#: (mirrors the runner executor's death grace).
+_DEATH_GRACE_S = 0.5
+
+#: Sentinels returned by the raw receive path.
+_TIMEOUT = object()
+_DEAD = object()
+
+
+class ShardError(RuntimeError):
+    """A shard failed beyond what respawn-and-replay could absorb."""
+
+
+class ShardDivergenceError(ShardError):
+    """Replicated shard state disagreed — the run cannot be trusted."""
+
+
+@dataclasses.dataclass
+class ShardRunConfig:
+    """Supervisor knobs for one sharded run (docs/SHARDING.md)."""
+
+    #: Interleave steps per ``run`` command; heartbeats happen at these
+    #: boundaries, so smaller segments mean finer-grained liveness.
+    segment_steps: int = 512
+    #: Wall-clock deadline for a shard's segment reply; a miss triggers
+    #: the ping → kill → respawn → replay escalation.
+    heartbeat_timeout_s: float = 30.0
+    #: Pings after a missed deadline before the shard is declared hung.
+    ping_retries: int = 1
+    #: Respawn-and-replay attempts per shard before the run fails.
+    max_respawns: int = 5
+    #: Segments sent ahead of the last acknowledged one (the
+    #: backpressure window).
+    max_inflight: int = 1
+    #: Command-queue bound; a full queue counts ``shard_backpressure``.
+    queue_bound: int = 8
+    #: Consistent-hash ring density (virtual nodes per shard).
+    virtual_nodes: int = 64
+
+
+class _ShardState:
+    """Supervisor-side bookkeeping for one worker process."""
+
+    def __init__(self, shard_id: int, log: MessageLog) -> None:
+        self.id = shard_id
+        self.log = log
+        self.process: Optional[multiprocessing.Process] = None
+        self.commands = None
+        self.replies = None
+        self.inbox: deque = deque()
+        self.tracker = SequenceTracker()
+        self.acked_steps = 0
+        self.sent_until = 0
+        self.finish_sent = False
+        self.outstanding: deque = deque()
+        self.result_text: Optional[str] = None
+        self.respawns = 0
+        self.command_seq = 0
+        self.pinged = False
+        self.pings = 0
+
+
+class ShardSupervisor:
+    """Drive one sharded multicore run to an agreed, merged result."""
+
+    def __init__(self, profiles, system: str, sim: SimulationConfig,
+                 n_shards: int, mix_name: str = "",
+                 config: Optional[ShardRunConfig] = None,
+                 run_dir: Optional[str] = None, tracer=None, journal=None,
+                 chaos=None, worker=shard_main) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if getattr(sim, "sanitize", False) or getattr(sim, "faults", None):
+            # Payload eliding is only sound when nothing re-reads line
+            # bytes: the sanitizer and cycle-level fault recovery both
+            # do (docs/SHARDING.md).
+            raise ValueError(
+                "sharded runs require sanitize=False and faults=None")
+        self.benchmarks = [profile.name for profile in profiles]
+        for name in self.benchmarks:
+            get_profile(name)   # sharding requires registry-named profiles
+        self.system = system
+        self.sim = sim
+        self.mix_name = mix_name or "+".join(self.benchmarks)
+        self.n_shards = n_shards
+        self.config = config or ShardRunConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.journal = journal
+        self.chaos = chaos
+        self.worker = worker
+        if run_dir is None:
+            import tempfile
+            run_dir = tempfile.mkdtemp(prefix="shard-run-")
+        self.run_dir = Path(run_dir)
+        self.total_steps = sim.n_events * len(self.benchmarks)
+        self.shards = [
+            _ShardState(i, MessageLog(self.run_dir / f"shard-{i}.log.jsonl"))
+            for i in range(n_shards)
+        ]
+        self._digests: Dict[int, str] = {}
+        self._load_checkpoints()
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def resume(cls, run_dir: str | Path,
+               config: Optional[ShardRunConfig] = None, tracer=None,
+               journal=None, worker=shard_main) -> "ShardSupervisor":
+        """Rebuild a supervisor from a dead one's run directory.
+
+        The shard specs and command logs persist across supervisor
+        death; the new supervisor replays every shard to its recorded
+        watermark (verified against the persisted agreement
+        checkpoints) and then continues the run.
+        """
+        run_dir = Path(run_dir)
+        logs = sorted(run_dir.glob("shard-*.log.jsonl"))
+        if not logs:
+            raise ShardError(f"no shard logs under {run_dir}")
+        spec_dict, _ = MessageLog(logs[0]).read()
+        if spec_dict is None:
+            raise ShardError(f"{logs[0]} has no spec header")
+        spec = ShardSpec(**spec_dict)
+        profiles = [get_profile(name) for name in spec.benchmarks]
+        return cls(profiles, spec.system, spec.build_sim(), spec.n_shards,
+                   mix_name=spec.mix, config=config, run_dir=run_dir,
+                   tracer=tracer, journal=journal, worker=worker)
+
+    def _spec(self, shard_id: int) -> ShardSpec:
+        sim_fields = dataclasses.asdict(self.sim)
+        sim_fields["shards"] = 0
+        return ShardSpec(shard_id=shard_id, n_shards=self.n_shards,
+                         benchmarks=list(self.benchmarks),
+                         system=self.system, mix=self.mix_name,
+                         sim=sim_fields,
+                         virtual_nodes=self.config.virtual_nodes)
+
+    # flowcheck: boundary(journaled shard events are run provenance; simulated results never read them)
+    def _journal(self, event: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal.event(event, **fields)
+
+    def _load_checkpoints(self) -> None:
+        path = self.run_dir / "supervisor.jsonl"
+        if not path.exists():
+            return
+        for record in read_journal(path, skip_invalid=True):
+            if "until" in record and "digest" in record:
+                self._digests[int(record["until"])] = record["digest"]
+
+    # flowcheck: boundary(agreement checkpoints are recovery provenance fsynced to disk; simulated results never read them)
+    def _persist_checkpoint(self, until: int, digest: str) -> None:
+        path = self.run_dir / "supervisor.jsonl"
+        with path.open("a") as handle:
+            handle.write(json.dumps({"until": until, "digest": digest},
+                                    sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- process lifecycle -------------------------------------------------
+
+    def _spawn(self, shard: _ShardState) -> None:
+        shard.commands = multiprocessing.Queue(
+            maxsize=self.config.queue_bound)
+        shard.replies = multiprocessing.Queue()
+        shard.inbox = deque()
+        shard.tracker = SequenceTracker()
+        shard.acked_steps = 0
+        shard.pinged = False
+        shard.pings = 0
+        spec = self._spec(shard.id)
+        existing_spec, _ = shard.log.read()
+        if existing_spec is None:
+            shard.log.write_spec(spec.as_dict())
+        shard.process = multiprocessing.Process(
+            target=self.worker,
+            args=(spec.as_dict(), shard.commands, shard.replies),
+            daemon=True)
+        shard.process.start()
+        self.tracer.emit("shard_spawn", shard=shard.id)
+        replay = [command for command in shard.log.replayable()
+                  if command["kind"] != "stop"]
+        if replay:
+            self.tracer.emit("shard_replay", shard=shard.id,
+                             replayed=len(replay))
+            for command in replay:
+                shard.commands.put(encode_message(command))
+            runs = [c["until"] for c in replay if c["kind"] == "run"]
+            shard.sent_until = max(runs, default=0)
+            shard.finish_sent = any(c["kind"] == "finish" for c in replay)
+            shard.outstanding = deque(
+                [shard.sent_until] if shard.sent_until else [])
+
+    def _spawn_all(self) -> None:
+        for shard in self.shards:
+            self._spawn(shard)
+
+    def _kill(self, shard: _ShardState) -> None:
+        process = shard.process
+        if process is not None and process.is_alive():
+            process.kill()
+            self.tracer.emit("shard_kill", shard=shard.id)
+        if process is not None:
+            process.join(_DEATH_GRACE_S)
+
+    def close(self) -> None:
+        """Stop (or kill) every worker; safe to call repeatedly."""
+        for shard in self.shards:
+            process = shard.process
+            if process is None:
+                continue
+            if process.is_alive():
+                try:
+                    self._post(shard, make_message(
+                        "stop", self._next_seq(shard)), journal=False)
+                except (OSError, ValueError):
+                    # Queue already torn down under the worker; the
+                    # unconditional kill below is the stop path then.
+                    self.tracer.emit("shard_kill", shard=shard.id)
+                process.join(_DEATH_GRACE_S)
+            if process.is_alive():
+                process.kill()
+                process.join(_DEATH_GRACE_S)
+            shard.process = None
+
+    def _recover(self, shard: _ShardState) -> None:
+        """Kill → respawn → replay; digest checks verify the replay."""
+        if shard.respawns >= self.config.max_respawns:
+            raise ShardError(
+                f"shard {shard.id} exceeded {self.config.max_respawns} "
+                f"respawns")
+        shard.respawns += 1
+        self._kill(shard)
+        self.tracer.emit("shard_respawn", shard=shard.id,
+                         respawns=shard.respawns)
+        self._spawn(shard)
+        self._journal("shard_recover", shard=shard.id,
+                      respawns=shard.respawns,
+                      replayed=len(shard.log.replayable()))
+
+    # -- messaging ---------------------------------------------------------
+
+    def _next_seq(self, shard: _ShardState) -> int:
+        shard.command_seq += 1
+        return shard.command_seq
+
+    def _post(self, shard: _ShardState, message: Dict[str, object],
+              chaos: bool = False, journal: bool = True) -> None:
+        """Journal (log-ahead), then send with backpressure accounting."""
+        if journal:
+            shard.log.log_command(message, chaos=chaos)
+        text = encode_message(message)
+        try:
+            shard.commands.put_nowait(text)
+        except queue.Full:
+            self.tracer.emit("shard_backpressure", shard=shard.id)
+            shard.commands.put(text)
+
+    def send_stall(self, shard_id: int, seconds: float) -> None:
+        """Chaos entry point: delay one shard's heartbeat (stripped on
+        replay — the directive is journaled with ``chaos: true``)."""
+        shard = self.shards[shard_id]
+        self._post(shard, make_message("stall", self._next_seq(shard),
+                                       seconds=seconds), chaos=True)
+
+    # flowcheck: boundary(wall-clock deadlines steer recovery scheduling only; shard state is pinned byte-identical by replay digests)
+    def _receive_raw(self, shard: _ShardState):
+        """One frame from the shard, through the chaos interceptor.
+
+        Polls in short slices so a SIGKILLed worker is noticed in
+        ~100 ms instead of after the full heartbeat deadline; returns
+        ``_TIMEOUT`` on a missed deadline and ``_DEAD`` when the
+        process is gone and its queue is drained.
+        """
+        deadline = time.monotonic() + self.config.heartbeat_timeout_s
+        while True:
+            if shard.inbox:
+                return shard.inbox.popleft()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return _TIMEOUT
+            try:
+                raw = shard.replies.get(timeout=min(0.1, remaining))
+            except queue.Empty:
+                if (shard.process is not None
+                        and not shard.process.is_alive()
+                        and shard.replies.empty()):
+                    return _DEAD
+                continue
+            if self.chaos is not None:
+                shard.inbox.extend(self.chaos.intercept(shard.id, raw))
+            else:
+                shard.inbox.append(raw)
+
+    def _next_reply(self, shard: _ShardState) -> Dict[str, object]:
+        """Next validated reply; absorbs poison, timeouts and death."""
+        while True:
+            raw = self._receive_raw(shard)
+            if raw is _DEAD:
+                self.tracer.emit("shard_exit", shard=shard.id)
+                self._recover(shard)
+                continue
+            if raw is _TIMEOUT:
+                self.tracer.emit("shard_heartbeat_miss", shard=shard.id)
+                if shard.pinged and not self._pings_left(shard):
+                    self._recover(shard)
+                    continue
+                self._ping(shard)
+                continue
+            try:
+                message = decode_message(raw)
+            except PoisonMessageError as exc:
+                quarantine_poison(self.run_dir / "quarantine.jsonl", raw,
+                                  str(exc), shard.id)
+                self.tracer.emit("shard_quarantine", shard=shard.id)
+                self._ping(shard)
+                continue
+            if shard.pinged and message["kind"] in ("progress", "result"):
+                self.tracer.emit("shard_resend", shard=shard.id)
+            shard.pinged = False
+            shard.pings = 0
+            return message
+
+    def _ping(self, shard: _ShardState) -> None:
+        shard.pings += 1
+        shard.pinged = True
+        self._post(shard, make_message("ping", self._next_seq(shard)))
+
+    def _pings_left(self, shard: _ShardState) -> bool:
+        return shard.pings <= self.config.ping_retries
+
+    # -- protocol ----------------------------------------------------------
+
+    def _check_digest(self, shard: _ShardState, steps: int,
+                      digest: str) -> None:
+        agreed = self._digests.get(steps)
+        if agreed is None:
+            self._digests[steps] = digest
+            self._persist_checkpoint(steps, digest)
+        elif agreed != digest:
+            self.tracer.emit("shard_divergence", shard=shard.id,
+                             steps=steps)
+            raise ShardDivergenceError(
+                f"shard {shard.id} diverged at step {steps}: "
+                f"{digest[:12]} != agreed {agreed[:12]}")
+
+    def _handle(self, shard: _ShardState,
+                message: Dict[str, object]) -> None:
+        kind = message["kind"]
+        if kind == "error":
+            raise ShardError(
+                f"shard {shard.id} reported: {message['message']}")
+        order = shard.tracker.classify(message["seq"])
+        if order == "duplicate":
+            self.tracer.emit("shard_msg_dup", shard=shard.id)
+            return
+        if order == "stale":
+            self.tracer.emit("shard_msg_reorder", shard=shard.id)
+            return
+        if kind == "hello":
+            return
+        if kind == "progress":
+            # In-run state agreement; the final payload gets its own
+            # N-way byte comparison instead (finish() flushes metadata,
+            # so the post-finish digest is a different quantity).
+            self._check_digest(shard, message["steps"], message["digest"])
+        shard.acked_steps = max(shard.acked_steps, message["steps"])
+        if kind == "result":
+            shard.result_text = canonical_json(message["payload"])
+            self.tracer.emit("shard_result", shard=shard.id,
+                             steps=message["steps"])
+
+    def _fill_window(self, shard: _ShardState) -> None:
+        while (len(shard.outstanding) < self.config.max_inflight
+               and shard.sent_until < self.total_steps):
+            until = min(self.total_steps,
+                        shard.sent_until + self.config.segment_steps)
+            self._post(shard, make_message("run", self._next_seq(shard),
+                                           until=until))
+            shard.sent_until = until
+            shard.outstanding.append(until)
+        if shard.sent_until >= self.total_steps and not shard.finish_sent:
+            self._post(shard, make_message("finish",
+                                           self._next_seq(shard)))
+            shard.finish_sent = True
+
+    def _drain_acked(self, shard: _ShardState) -> None:
+        while shard.outstanding and shard.acked_steps >= shard.outstanding[0]:
+            shard.outstanding.popleft()
+
+    def _pump(self, shard: _ShardState) -> None:
+        """Consume replies until the oldest outstanding segment (and,
+        after ``finish``, the result) is accounted for."""
+        self._drain_acked(shard)
+        while shard.outstanding or (shard.finish_sent
+                                    and shard.result_text is None):
+            self._handle(shard, self._next_reply(shard))
+            self._drain_acked(shard)
+
+    def _drain_residual(self, shard: _ShardState) -> None:
+        """Account for frames still in flight after the result landed.
+
+        A duplicated or reorder-held frame released behind the final
+        result would otherwise sit unobserved in the channel; draining
+        it here keeps the chaos ledger honest — every committed
+        message fault gets its ``shard_msg_*`` observation event.
+        """
+        while True:
+            if not shard.inbox:
+                try:
+                    raw = shard.replies.get(timeout=0.05)
+                except queue.Empty:
+                    return
+                if self.chaos is not None:
+                    shard.inbox.extend(self.chaos.intercept(shard.id, raw))
+                else:
+                    shard.inbox.append(raw)
+                continue
+            raw = shard.inbox.popleft()
+            try:
+                message = decode_message(raw)
+            except PoisonMessageError as exc:
+                quarantine_poison(self.run_dir / "quarantine.jsonl", raw,
+                                  str(exc), shard.id)
+                self.tracer.emit("shard_quarantine", shard=shard.id)
+                continue
+            if message["kind"] == "error":
+                continue
+            order = shard.tracker.classify(message["seq"])
+            if order == "duplicate":
+                self.tracer.emit("shard_msg_dup", shard=shard.id)
+            elif order == "stale":
+                self.tracer.emit("shard_msg_reorder", shard=shard.id)
+
+    def _sweep_dead(self) -> None:
+        """Notice workers that died *after* their final reply.
+
+        No recovery is needed — the result is already agreed — but the
+        exit must still be observed, or a kill landing in the gap
+        between the last reply and ``stop`` would be a silent fault.
+        """
+        for shard in self.shards:
+            if shard.process is not None and not shard.process.is_alive():
+                self.tracer.emit("shard_exit", shard=shard.id)
+
+    def run(self) -> MulticoreResult:
+        """Drive the sharded run to its merged, agreed result."""
+        self._journal("shard_run_start", shards=self.n_shards,
+                      mix=self.mix_name, system=self.system,
+                      total_steps=self.total_steps)
+        try:
+            self._spawn_all()
+            segment = 0
+            while any(shard.result_text is None for shard in self.shards):
+                segment += 1
+                self.tracer.tick()
+                if self.chaos is not None:
+                    self.chaos.on_segment(self)
+                for shard in self.shards:
+                    if shard.result_text is None:
+                        self._fill_window(shard)
+                for shard in self.shards:
+                    if shard.result_text is None:
+                        self._pump(shard)
+            for shard in self.shards:
+                self._drain_residual(shard)
+            self._sweep_dead()
+            agreed = self.shards[0].result_text
+            for shard in self.shards[1:]:
+                if shard.result_text != agreed:
+                    self.tracer.emit("shard_divergence", shard=shard.id,
+                                     steps=self.total_steps)
+                    raise ShardDivergenceError(
+                        f"shard {shard.id} result payload disagrees with "
+                        f"shard 0")
+            digest = self._digests.get(self.total_steps, "")
+            self._journal("shard_run_end", shards=self.n_shards,
+                          agreed=True, digest=digest)
+            return payload_to_result(json.loads(agreed))
+        finally:
+            self.close()
+
+
+def simulate_multicore_sharded(profiles, system: str,
+                               sim: SimulationConfig, mix_name: str = "",
+                               config: Optional[ShardRunConfig] = None,
+                               run_dir: Optional[str] = None, tracer=None,
+                               journal=None, chaos=None) -> MulticoreResult:
+    """Sharded twin of ``simulate_multicore`` (docs/SHARDING.md).
+
+    Spawns ``sim.shards`` supervised workers and returns the merged,
+    N-way-agreed result — byte-identical headline metrics to the
+    single-process path.
+    """
+    n_shards = int(getattr(sim, "shards", 0)) or 1
+    supervisor = ShardSupervisor(profiles, system, sim, n_shards,
+                                 mix_name=mix_name, config=config,
+                                 run_dir=run_dir, tracer=tracer,
+                                 journal=journal, chaos=chaos,
+                                 worker=shard_main)
+    return supervisor.run()

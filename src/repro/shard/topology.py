@@ -1,0 +1,70 @@
+"""Consistent-hash page→shard routing (docs/SHARDING.md).
+
+The supervisor and every worker derive the same ownership map from
+``(n_shards, virtual_nodes)`` alone — pure SHA-256 arithmetic, no RNG,
+no wall clock — so a respawned worker recomputes exactly the ownership
+its predecessor had, and the map never has to cross the process
+boundary.  Virtual nodes smooth the ring: each shard projects
+``virtual_nodes`` points onto the hash circle and a page belongs to
+the shard owning the first point at or after the page's own hash.
+
+Consistent hashing (rather than ``page % n_shards``) is deliberate:
+growing the shard count for a bigger capacity sweep remaps only
+``~1/n`` of the pages, so cached per-page artifacts stay mostly valid
+across topology changes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Tuple
+
+
+def _point(token: str) -> int:
+    """Deterministic 64-bit position on the hash ring."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardTopology:
+    """Deterministic page→shard ownership for one sharded run."""
+
+    def __init__(self, n_shards: int, virtual_nodes: int = 64) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if virtual_nodes < 1:
+            raise ValueError(
+                f"need at least one virtual node, got {virtual_nodes}")
+        self.n_shards = n_shards
+        self.virtual_nodes = virtual_nodes
+        ring: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for vnode in range(virtual_nodes):
+                ring.append((_point(f"shard:{shard}:{vnode}"), shard))
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._owners = [shard for _, shard in ring]
+
+    def shard_of(self, page: int) -> int:
+        """The shard owning ``page`` (successor point on the ring)."""
+        point = _point(f"page:{page}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0   # wrap around the circle
+        return self._owners[index]
+
+    def owns(self, shard_id: int, page: int) -> bool:
+        return self.shard_of(page) == shard_id
+
+    def owned_pages(self, shard_id: int, n_pages: int) -> List[int]:
+        """All pages in ``range(n_pages)`` owned by ``shard_id``."""
+        return [page for page in range(n_pages)
+                if self.shard_of(page) == shard_id]
+
+    def counts(self, n_pages: int) -> List[int]:
+        """Pages owned per shard over ``range(n_pages)`` (balance check)."""
+        owned = [0] * self.n_shards
+        for page in range(n_pages):
+            owned[self.shard_of(page)] += 1
+        return owned

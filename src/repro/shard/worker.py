@@ -1,0 +1,246 @@
+"""Shard worker: a deterministic multicore replica with partitioned
+payload bytes (docs/SHARDING.md).
+
+Every worker advances the *same* :class:`repro.simulation.multicore.
+MulticoreRun` — the full control-plane computation is replicated, so
+all shards agree byte-for-byte by construction — but a worker
+materializes controller shadow-payload bytes only for the pages its
+consistent-hash partition owns.  Payload bytes are the dominant memory
+of a capacity sweep (4 KB per page vs. a few dozen bytes of metadata),
+so partitioning them is what sharding buys; replicating the integer
+control state is what makes divergence detection and crash recovery
+*provable* rather than statistical.
+
+The worker is a pure function of ``(spec, inbound command log)``: its
+spec carries every seed and parameter, commands arrive in a journaled
+order, heartbeats happen only at command boundaries, and nothing here
+reads the wall clock into results.  That purity is the replay
+invariant — a killed worker respawned from its spec and replayed from
+its :class:`~repro.shard.messages.MessageLog` reaches byte-identical
+state, which the supervisor verifies against the digests the dead
+worker had already reported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.stats import ControllerStats
+from ..memory.dram import DRAMStats
+from ..simulation.multicore import MulticoreResult, MulticoreRun
+from ..simulation.simulator import SimulationConfig
+from ..workloads.profiles import get_profile
+from .messages import PoisonMessageError, decode_message, encode_message, \
+    make_message
+from .topology import ShardTopology
+
+#: Shared sentinel standing in for a non-owned page's payload bytes.
+#: It must not be ``None`` (the controller's zero-line semantics and
+#: ``lines_with_data`` counts key on ``is not None``) and its content
+#: is never read on the sharded path: line sizes are recomputed only by
+#: the recover-mode rebuild, which sharded runs do not enable.
+_ELIDED = b"\x00elided"
+
+
+@dataclass
+class ShardSpec:
+    """Everything a worker needs to recompute its state from scratch."""
+
+    shard_id: int
+    n_shards: int
+    benchmarks: List[str]
+    system: str
+    mix: str = ""
+    #: ``SimulationConfig`` fields for the run (``shards`` forced to 0
+    #: inside the worker — a shard never re-shards).
+    sim: Dict[str, object] = field(default_factory=dict)
+    virtual_nodes: int = 64
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def build_sim(self) -> SimulationConfig:
+        fields_ = dict(self.sim)
+        fields_["shards"] = 0
+        return SimulationConfig(**fields_)
+
+
+def canonical_json(payload: object) -> str:
+    """Stable serialization both digesting and agreement checks use."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _dram_dict(stats: DRAMStats) -> Dict[str, int]:
+    return dataclasses.asdict(stats)
+
+
+def state_digest(run: MulticoreRun) -> str:
+    """SHA-256 over the replicated state every shard must agree on."""
+    payload = {
+        "steps": run.steps,
+        "core_cycles": [core.now for core in run.cores],
+        "instructions": [core.stats.instructions for core in run.cores],
+        "stats": run.controller.stats.as_dict(),
+        "dram": _dram_dict(run.dram.stats),
+        "ratio_timeline": run.ratio_timeline,
+    }
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def result_payload(result: MulticoreResult) -> Dict[str, object]:
+    """The merged-result fields, as a JSON-stable dict."""
+    return {
+        "mix": result.mix,
+        "system": result.system,
+        "core_cycles": list(result.core_cycles),
+        "core_instructions": list(result.core_instructions),
+        "controller_stats": result.controller_stats.as_dict(),
+        "dram_stats": _dram_dict(result.dram_stats),
+        "ratio_timeline": list(result.ratio_timeline),
+        "metadata_hit_rate": result.metadata_hit_rate,
+    }
+
+
+def payload_to_result(payload: Dict[str, object]) -> MulticoreResult:
+    """Rebuild a :class:`MulticoreResult` from an agreed payload."""
+    return MulticoreResult(
+        mix=payload["mix"],
+        system=payload["system"],
+        core_cycles=list(payload["core_cycles"]),
+        core_instructions=list(payload["core_instructions"]),
+        controller_stats=ControllerStats(**payload["controller_stats"]),
+        dram_stats=DRAMStats(**payload["dram_stats"]),
+        ratio_timeline=list(payload["ratio_timeline"]),
+        metadata_hit_rate=payload["metadata_hit_rate"],
+    )
+
+
+class ShardWorker:
+    """One shard's replica: full interleave, partitioned payloads."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.topology = ShardTopology(spec.n_shards, spec.virtual_nodes)
+        profiles = [get_profile(name) for name in spec.benchmarks]
+        self.run = MulticoreRun(profiles, spec.system, spec.build_sim(),
+                                mix_name=spec.mix)
+        self._owned = [
+            self.topology.shard_of(page) == spec.shard_id
+            for page in range(self.run.total_pages)
+        ]
+        self._elide_all()
+        self._result_payload: Optional[Dict[str, object]] = None
+        self._seq = 0
+
+    # -- payload partitioning ---------------------------------------------
+
+    def _elide_page(self, page: int) -> None:
+        states = getattr(self.run.controller, "pages", None)
+        if states is None:        # uncompressed baseline: no shadow data
+            return
+        state = states.get(page)
+        if state is None:
+            return
+        data = state.data
+        for line, payload in enumerate(data):
+            if payload is not None and payload is not _ELIDED:
+                data[line] = _ELIDED
+
+    def _elide_all(self) -> None:
+        for page in range(self.run.total_pages):
+            if not self._owned[page]:
+                self._elide_page(page)
+
+    def _after_step(self, page: int) -> None:
+        if not self._owned[page]:
+            self._elide_page(page)
+
+    def resident_payload_pages(self) -> int:
+        """Pages whose payload bytes this worker actually holds."""
+        return sum(1 for owned in self._owned if owned)
+
+    # -- protocol ----------------------------------------------------------
+
+    def advance(self, until: int) -> int:
+        return self.run.advance(until, after_step=self._after_step)
+
+    def finish_payload(self) -> Dict[str, object]:
+        if self._result_payload is None:
+            self._result_payload = result_payload(self.run.finish())
+        return self._result_payload
+
+    def _send(self, replies, kind: str, **fields) -> None:
+        self._seq += 1
+        message = make_message(kind, self._seq, shard=self.spec.shard_id,
+                               **fields)
+        replies.put(encode_message(message))
+
+    def _send_progress(self, replies) -> None:
+        if self._result_payload is not None:
+            self._send(replies, "result", steps=self.run.steps,
+                       digest=state_digest(self.run),
+                       payload=self._result_payload)
+        else:
+            self._send(replies, "progress", steps=self.run.steps,
+                       digest=state_digest(self.run))
+
+    def serve(self, commands, replies) -> None:
+        """Command loop: run segments, answer pings, finish, stop."""
+        self._send(replies, "hello", steps=self.run.steps)
+        while True:
+            raw = commands.get()
+            try:
+                message = decode_message(raw)
+            except PoisonMessageError as exc:
+                self._send(replies, "error",
+                           message=f"poison command: {exc}")
+                continue
+            kind = message["kind"]
+            try:
+                if kind == "run":
+                    self.advance(message["until"])
+                    self._send_progress(replies)
+                elif kind == "ping":
+                    self._send_progress(replies)
+                elif kind == "stall":
+                    # Chaos directive: hold the heartbeat, not the
+                    # state — nothing below reads this pause.
+                    time.sleep(message["seconds"])
+                elif kind == "finish":
+                    payload = self.finish_payload()
+                    self._send(replies, "result", steps=self.run.steps,
+                               digest=state_digest(self.run),
+                               payload=payload)
+                elif kind == "stop":
+                    return
+            except Exception:
+                self._send(replies, "error",
+                           message=traceback.format_exc())
+                return
+
+
+def shard_main(spec_dict: Dict[str, object], commands, replies) -> None:
+    """Process entry point: build the replica and serve commands.
+
+    Module-level so it is picklable by reference across the
+    ``multiprocessing`` boundary, and dispatched via the supervisor's
+    ``worker=`` parameter so the flowcheck shared-state-race rule
+    treats it as a worker root (docs/FLOWCHECK.md).
+    """
+    try:
+        worker = ShardWorker(ShardSpec(**spec_dict))
+    except Exception:
+        shard = spec_dict.get("shard_id", -1) if isinstance(
+            spec_dict, dict) else -1
+        message = make_message("error", 1, shard=int(shard),
+                               message=traceback.format_exc())
+        replies.put(encode_message(message))
+        return
+    worker.serve(commands, replies)

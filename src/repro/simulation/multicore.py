@@ -6,12 +6,18 @@ paper highlights for Mixes 4 and 10), a shared DDR4 system, and private
 analytic cores.  Cores interleave in simulated time (the one furthest
 behind steps next), mimicking zsim's always-under-contention
 ``syncedFastForward`` methodology (§VI-E).
+
+The loop is factored into :class:`MulticoreRun` so it can be advanced
+incrementally: the sharded driver (``repro.shard``, docs/SHARDING.md)
+replays exactly this computation in worker processes segment by
+segment, and sharing one stepping body is what makes the sharded
+result *provably* byte-identical to the single-process one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -45,89 +51,162 @@ class MulticoreResult:
     timeline: Optional[dict] = None
 
     def speedup_over(self, baseline: "MulticoreResult") -> float:
-        """Geometric mean of per-core speedups (same per-core traces)."""
+        """Geometric mean of per-core speedups (same per-core traces).
+
+        Both sides are clamped to one cycle: a zero entry (a core that
+        never stalled, or a degenerate baseline) would otherwise feed
+        ``log(0)`` into the geometric mean and poison it with ``-inf``.
+        """
         ratios = [
-            b / max(1, s)
+            max(1, b) / max(1, s)
             for b, s in zip(baseline.core_cycles, self.core_cycles)
         ]
         return float(np.exp(np.mean(np.log(ratios))))
 
 
+class MulticoreRun:
+    """One multicore simulation, advanced incrementally.
+
+    Construction performs the warm install; :meth:`advance` steps the
+    always-under-contention interleave up to a global step count;
+    :meth:`finish` flushes metadata and assembles the
+    :class:`MulticoreResult`.  ``simulate_multicore`` is the one-shot
+    wrapper; the sharded workers (docs/SHARDING.md) call ``advance``
+    per supervisor segment instead, so every step of both paths runs
+    this class's single loop body.
+    """
+
+    def __init__(self, profiles: List[BenchmarkProfile], system: str,
+                 sim: SimulationConfig = SimulationConfig(),
+                 mix_name: str = "", tracer=None) -> None:
+        if not profiles:
+            raise ValueError("need at least one profile")
+        self.sim = sim
+        self.system = system
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.mix_name = mix_name or "+".join(p.name for p in profiles)
+        self.workloads = [
+            Workload(profile, scale=sim.scale, seed=sim.seed + index)
+            for index, profile in enumerate(profiles)
+        ]
+        self.offsets: List[int] = []
+        total_pages = 0
+        for workload in self.workloads:
+            self.offsets.append(total_pages)
+            total_pages += workload.pages
+        self.total_pages = total_pages
+
+        self.controller = _build_controller(system, total_pages, sim,
+                                            tracer=self.tracer)
+        with self.tracer.phase("install"):
+            if sim.warm_install:
+                for workload, offset in zip(self.workloads, self.offsets):
+                    for page in range(workload.pages):
+                        self.controller.install_page(
+                            offset + page, workload.page_lines(page))
+
+        self.dram = DRAMSystem(n_channels=sim.dram_channels,
+                               timings=DRAMTimings())
+        self.cores = [
+            AnalyticCore(CoreConfig(), mlp=profile.mlp, cpi=profile.base_cpi)
+            for profile in profiles
+        ]
+        self.engines: List[EventEngine] = []
+        self.iterators = []
+        for workload, offset, core in zip(self.workloads, self.offsets,
+                                          self.cores):
+            trace = TraceGenerator(workload, seed=sim.seed)
+            self.engines.append(EventEngine(self.controller, self.dram, core,
+                                            workload, trace, sim,
+                                            page_offset=offset))
+            self.iterators.append(trace.events(sim.n_events))
+
+        self.remaining = [sim.n_events] * len(profiles)
+        self.progress_done = [0] * len(profiles)
+        self.ratio_timeline: List[float] = []
+        self.sample_every = max(1, sim.n_events * len(profiles)
+                                // max(1, sim.ratio_samples))
+        self.steps = 0
+
+    @property
+    def total_steps(self) -> int:
+        """Global interleave steps in a complete run."""
+        return self.sim.n_events * len(self.workloads)
+
+    def advance(self, until: int,
+                after_step: Optional[Callable[[int], None]] = None) -> int:
+        """Step the interleave until ``self.steps == until`` (clamped).
+
+        ``after_step``, when given, is called with the *global* page
+        each event touched, after that step's bookkeeping — the shard
+        workers use it to elide payload bytes of pages they do not own
+        (docs/SHARDING.md).  Returns the new global step count.
+        """
+        sim = self.sim
+        cores = self.cores
+        # Always-under-contention interleave: the core furthest behind
+        # in simulated time executes its next event.
+        with self.tracer.phase("simulate"):
+            while self.steps < until and any(self.remaining):
+                core_index = min(
+                    (i for i in range(len(cores)) if self.remaining[i]),
+                    key=lambda i: cores[i].now,
+                )
+                event = next(self.iterators[core_index])
+                progress = self.progress_done[core_index] / sim.n_events
+                self.engines[core_index].step(event, progress)
+                self.remaining[core_index] -= 1
+                self.progress_done[core_index] += 1
+                self.steps += 1
+                if self.steps % self.sample_every == 0:
+                    self.ratio_timeline.append(
+                        max(1.0, self.controller.compression_ratio()))
+                if after_step is not None:
+                    after_step(self.offsets[core_index] + event.page)
+        return self.steps
+
+    def finish(self) -> MulticoreResult:
+        """Flush metadata and assemble the result."""
+        tracer = self.tracer
+        with tracer.phase("flush"):
+            self.controller.flush_metadata()
+        return MulticoreResult(
+            mix=self.mix_name,
+            system=self.system,
+            core_cycles=[core.now for core in self.cores],
+            core_instructions=[core.stats.instructions
+                               for core in self.cores],
+            controller_stats=self.controller.stats,
+            dram_stats=self.dram.stats,
+            ratio_timeline=(self.ratio_timeline
+                            or [self.controller.compression_ratio()]),
+            metadata_hit_rate=self.controller.stats.metadata_hit_rate(),
+            timeline=(
+                timeline_digest(tracer.events, tracer.digest_window,
+                                end_clock=tracer.clock)
+                if tracer.enabled else None
+            ),
+        )
+
+
 def simulate_multicore(profiles: List[BenchmarkProfile], system: str,
                        sim: SimulationConfig = SimulationConfig(),
                        mix_name: str = "", tracer=None) -> MulticoreResult:
-    """Run a 4-benchmark mix on one system configuration."""
-    if not profiles:
-        raise ValueError("need at least one profile")
-    tracer = tracer if tracer is not None else NULL_TRACER
-    workloads = [
-        Workload(profile, scale=sim.scale, seed=sim.seed + index)
-        for index, profile in enumerate(profiles)
-    ]
-    offsets = []
-    total_pages = 0
-    for workload in workloads:
-        offsets.append(total_pages)
-        total_pages += workload.pages
+    """Run a 4-benchmark mix on one system configuration.
 
-    controller = _build_controller(system, total_pages, sim, tracer=tracer)
-    with tracer.phase("install"):
-        if sim.warm_install:
-            for workload, offset in zip(workloads, offsets):
-                for page in range(workload.pages):
-                    controller.install_page(offset + page,
-                                            workload.page_lines(page))
-
-    dram = DRAMSystem(n_channels=sim.dram_channels, timings=DRAMTimings())
-    cores = [
-        AnalyticCore(CoreConfig(), mlp=profile.mlp, cpi=profile.base_cpi)
-        for profile in profiles
-    ]
-    engines = []
-    iterators = []
-    for workload, offset, core in zip(workloads, offsets, cores):
-        trace = TraceGenerator(workload, seed=sim.seed)
-        engines.append(EventEngine(controller, dram, core, workload,
-                                   trace, sim, page_offset=offset))
-        iterators.append(trace.events(sim.n_events))
-
-    remaining = [sim.n_events] * len(profiles)
-    progress_done = [0] * len(profiles)
-    ratio_timeline: List[float] = []
-    sample_every = max(1, sim.n_events * len(profiles)
-                       // max(1, sim.ratio_samples))
-    steps = 0
-    # Always-under-contention interleave: the core furthest behind in
-    # simulated time executes its next event.
-    with tracer.phase("simulate"):
-        while any(remaining):
-            core_index = min(
-                (i for i in range(len(cores)) if remaining[i]),
-                key=lambda i: cores[i].now,
-            )
-            event = next(iterators[core_index])
-            progress = progress_done[core_index] / sim.n_events
-            engines[core_index].step(event, progress)
-            remaining[core_index] -= 1
-            progress_done[core_index] += 1
-            steps += 1
-            if steps % sample_every == 0:
-                ratio_timeline.append(max(1.0, controller.compression_ratio()))
-
-    with tracer.phase("flush"):
-        controller.flush_metadata()
-    return MulticoreResult(
-        mix=mix_name or "+".join(p.name for p in profiles),
-        system=system,
-        core_cycles=[core.now for core in cores],
-        core_instructions=[core.stats.instructions for core in cores],
-        controller_stats=controller.stats,
-        dram_stats=dram.stats,
-        ratio_timeline=ratio_timeline or [controller.compression_ratio()],
-        metadata_hit_rate=controller.stats.metadata_hit_rate(),
-        timeline=(
-            timeline_digest(tracer.events, tracer.digest_window,
-                            end_clock=tracer.clock)
-            if tracer.enabled else None
-        ),
-    )
+    With ``sim.shards > 0`` the run is delegated to the supervised
+    sharded driver (``repro.shard``, docs/SHARDING.md): N worker
+    processes execute the same deterministic interleave with payload
+    bytes partitioned by consistent hash, and the supervisor verifies
+    their N-way byte-identical agreement before merging — the returned
+    headline metrics equal this function's single-process output
+    exactly.
+    """
+    if getattr(sim, "shards", 0):
+        from ..shard import simulate_multicore_sharded
+        return simulate_multicore_sharded(profiles, system, sim,
+                                          mix_name=mix_name)
+    run = MulticoreRun(profiles, system, sim, mix_name=mix_name,
+                       tracer=tracer)
+    run.advance(run.total_steps)
+    return run.finish()

@@ -72,6 +72,11 @@ class SimulationConfig:
     #: injector is seeded from ``seed`` and steps once per trace event.
     #: Pair with ``sanitize="recover"`` for detect-and-recover runs.
     faults: Optional[str] = None
+    #: Run the multicore simulation across this many supervised worker
+    #: processes (``repro.shard``, docs/SHARDING.md); 0 keeps the
+    #: single-process path.  Results are byte-identical either way —
+    #: the supervisor verifies N-way agreement before merging.
+    shards: int = 0
 
 
 @dataclass

@@ -214,6 +214,12 @@ GOLDEN_EVENTS = {
                   inserted=12),
     "compare": dict(db="results_index.sqlite", run_a="a", run_b="b",
                     metrics=6, regressions=0),
+    "shard_run_start": dict(shards=4, mix="mix2", system="compresso",
+                            total_steps=1200),
+    "shard_recover": dict(shard=1, respawns=1, replayed=3),
+    "shard_run_end": dict(shards=4, agreed=True, digest="deadbeef"),
+    "chaos": dict(cells=6, injected=21, silent=0, divergent=0,
+                  clean=True),
 }
 
 

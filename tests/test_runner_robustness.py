@@ -7,6 +7,7 @@ account for them without losing the rest of the sweep.
 """
 
 import json
+import multiprocessing
 import os
 import time
 
@@ -56,6 +57,22 @@ def _hang_once_unit(sentinel, value):
         open(sentinel, "w").close()
         time.sleep(60)
     return {"value": value}
+
+
+def _echo_child(value, queue):
+    queue.put(value * 10)
+
+
+def _spawning_unit(value):
+    """A unit that hosts a subprocess of its own, like the sharded
+    simulation's supervisor does."""
+    ctx = multiprocessing.get_context()
+    queue = ctx.Queue()
+    proc = ctx.Process(target=_echo_child, args=(value, queue))
+    proc.start()
+    result = queue.get(timeout=30)
+    proc.join()
+    return {"value": result}
 
 
 def _unit(fn, label="u", **params):
@@ -130,6 +147,21 @@ class TestCrashTolerantScheduler:
         with pytest.raises(ValueError):
             Runner(retries=-1)
 
+    def test_allow_children_lets_units_spawn_subprocesses(self):
+        """Sharded units host a supervisor with worker subprocesses;
+        the default daemonic unit processes refuse to have children."""
+        units = [_unit(_spawning_unit, "a", value=1),
+                 _unit(_spawning_unit, "b", value=2)]
+        runner = Runner(jobs=2, strict=False)
+        assert runner.map(units) == [None, None]
+        assert all("daemonic" in f.reason for f in runner.failures)
+        runner = Runner(jobs=2, allow_children=True)
+        assert runner.map(units) == [{"value": 10}, {"value": 20}]
+
+    def test_allow_children_refuses_timeout(self):
+        with pytest.raises(ValueError, match="allow_children"):
+            Runner(allow_children=True, timeout=1.0)
+
     def test_isolated_path_stores_to_cache(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         runner = Runner(jobs=1, retries=1, backoff=0.01, cache=cache)
@@ -188,13 +220,18 @@ class TestCacheQuarantine:
 
 
 class TestCrashSafeJournal:
-    def test_torn_trailing_line_tolerated(self, tmp_path):
+    def test_torn_trailing_line_repaired(self, tmp_path):
         journal = RunJournal(tmp_path / "runs.jsonl")
         journal.event("run_start", jobs=1, cache_enabled=False)
+        intact = journal.path.read_bytes()
         with journal.path.open("a") as handle:
             handle.write('{"event": "unit_sta')     # torn mid-crash
-        with pytest.raises(json.JSONDecodeError):
-            read_journal(journal.path)
+        with pytest.warns(RuntimeWarning, match="torn final line"):
+            records = read_journal(journal.path)
+        assert [r["event"] for r in records] == ["run_start"]
+        # the torn bytes are truncated away, not left to trip the
+        # next reader
+        assert journal.path.read_bytes() == intact
         records = read_journal(journal.path, skip_invalid=True)
         assert [r["event"] for r in records] == ["run_start"]
 

@@ -1,0 +1,280 @@
+"""Tests for the supervised sharded simulation (docs/SHARDING.md).
+
+Covers the consistent-hash topology, the message protocol and its
+replay log, single-process equivalence, SIGKILL recovery via
+deterministic replay, supervisor-death resume, and the chaos cell's
+zero-silent-faults claim.  The process-spawning tests use tiny traces;
+they exercise real ``multiprocessing`` workers, not mocks.
+"""
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+from repro.core.stats import ControllerStats
+from repro.memory.dram import DRAMStats
+from repro.obs import Tracer
+from repro.runner.journal import read_journal
+from repro.shard import (
+    ChaosInjector,
+    MessageLog,
+    PoisonMessageError,
+    SequenceTracker,
+    ShardRunConfig,
+    ShardSupervisor,
+    ShardTopology,
+    canonical_json,
+    decode_message,
+    make_message,
+    parse_chaos_spec,
+    result_payload,
+    simulate_multicore_sharded,
+)
+from repro.shard.chaos import chaos_cell, reconcile_chaos
+from repro.simulation import SimulationConfig, simulate_multicore
+from repro.simulation.multicore import MulticoreResult
+from repro.workloads import mix_profiles
+
+SIM = SimulationConfig(n_events=200, scale=0.02, seed=4)
+
+
+def _payload_text(result) -> str:
+    return canonical_json(result_payload(result))
+
+
+class TestTopology:
+    def test_deterministic_across_instances(self):
+        a = ShardTopology(4, virtual_nodes=32)
+        b = ShardTopology(4, virtual_nodes=32)
+        assert [a.shard_of(p) for p in range(500)] == \
+            [b.shard_of(p) for p in range(500)]
+
+    def test_every_shard_owns_pages(self):
+        counts = ShardTopology(4).counts(2000)
+        assert len(counts) == 4
+        assert all(count > 0 for count in counts)
+        # consistent hashing keeps the split roughly even
+        assert max(counts) < 3 * min(counts)
+
+    def test_owned_pages_partition_the_range(self):
+        topology = ShardTopology(3)
+        owned = [topology.owned_pages(shard, 300) for shard in range(3)]
+        merged = sorted(page for pages in owned for page in pages)
+        assert merged == list(range(300))
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            ShardTopology(0)
+        with pytest.raises(ValueError):
+            ShardTopology(2, virtual_nodes=0)
+
+
+class TestMessages:
+    def test_roundtrip_and_schema(self):
+        message = make_message("run", 3, until=512)
+        assert decode_message(json.dumps(message)) == message
+
+    def test_poison_raises(self):
+        with pytest.raises(PoisonMessageError):
+            decode_message('{"kind": "progress", "seq": 1')   # torn JSON
+        with pytest.raises(PoisonMessageError):
+            decode_message(json.dumps({"kind": "nonsense", "seq": 0}))
+
+    def test_sequence_tracker_classifies_dup_and_stale(self):
+        tracker = SequenceTracker()
+        assert tracker.classify(0) == "new"
+        assert tracker.classify(2) == "new"
+        assert tracker.classify(2) == "duplicate"   # dup chaos site
+        assert tracker.classify(1) == "stale"       # reorder chaos site
+        assert tracker.classify(3) == "new"
+
+    def test_message_log_replayable_strips_chaos(self, tmp_path):
+        log = MessageLog(tmp_path / "shard-0.log.jsonl")
+        log.write_spec({"shard_id": 0})
+        log.log_command(make_message("run", 0, until=128))
+        log.log_command(make_message("stall", 1, seconds=9.0), chaos=True)
+        log.log_command(make_message("finish", 2))
+        spec, commands = log.read()
+        assert spec == {"shard_id": 0}
+        assert len(commands) == 3
+        replay = log.replayable()
+        assert [command["kind"] for command in replay] == ["run", "finish"]
+        assert all("chaos" not in command for command in replay)
+
+
+class TestTornFinalLine:
+    """The ``read_journal`` torn-tail repair, at the byte level."""
+
+    def test_truncates_to_last_valid_newline(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        good = '{"kind": "ping", "seq": 0}\n{"kind": "ping", "seq": 1}\n'
+        torn = '{"kind": "ping", "se'          # crash mid-append, no \n
+        target.write_bytes((good + torn).encode())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = read_journal(target, skip_invalid=True)
+        assert [record["seq"] for record in records] == [0, 1]
+        assert any("torn final line" in str(w.message) for w in caught)
+        # repaired in place: the file now ends at the last valid newline
+        assert target.read_bytes() == good.encode()
+
+    def test_mid_file_garbage_still_raises(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('not json\n{"kind": "ping", "seq": 0}\n')
+        with pytest.raises(ValueError):
+            read_journal(target)
+        records = read_journal(target, skip_invalid=True)
+        assert [record["seq"] for record in records] == [0]
+
+    def test_message_log_read_survives_torn_tail(self, tmp_path):
+        log = MessageLog(tmp_path / "shard-0.log.jsonl")
+        log.write_spec({"shard_id": 0})
+        log.log_command(make_message("run", 0, until=64))
+        with log.path.open("a") as handle:
+            handle.write('{"kind": "fin')        # torn
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            spec, commands = log.read()
+        assert spec == {"shard_id": 0}
+        assert [command["kind"] for command in commands] == ["run"]
+
+
+class TestSpeedupClamp:
+    """Regression: a zero cycle count must not feed ``log(0)``."""
+
+    @staticmethod
+    def _result(cycles):
+        return MulticoreResult(
+            mix="mix1", system="compresso", core_cycles=cycles,
+            core_instructions=[100] * len(cycles),
+            controller_stats=ControllerStats(), dram_stats=DRAMStats())
+
+    def test_zero_cycles_yield_finite_speedup(self):
+        base = self._result([1000, 0, 1000, 1000])
+        comp = self._result([500, 500, 0, 500])
+        speedup = comp.speedup_over(base)
+        assert speedup == speedup and speedup not in (
+            float("inf"), float("-inf"))
+        assert speedup > 0
+
+    def test_all_zero_is_parity(self):
+        zero = self._result([0, 0, 0, 0])
+        assert zero.speedup_over(zero) == pytest.approx(1.0)
+
+
+class TestShardedEquivalence:
+    def test_matches_single_process_byte_identical(self):
+        profiles = mix_profiles("mix2")
+        baseline = simulate_multicore(profiles, "compresso", SIM, "mix2")
+        sharded = simulate_multicore_sharded(
+            profiles, "compresso", dataclasses.replace(SIM, shards=2),
+            "mix2", config=ShardRunConfig(segment_steps=256))
+        assert _payload_text(sharded) == _payload_text(baseline)
+        # the headline metrics, spelled out
+        assert sharded.core_cycles == baseline.core_cycles
+        assert sharded.core_instructions == baseline.core_instructions
+        assert sharded.controller_stats == baseline.controller_stats
+
+    def test_simulate_multicore_delegates_on_shards(self):
+        profiles = mix_profiles("mix4")
+        direct = simulate_multicore(profiles, "lcp", SIM, "mix4")
+        routed = simulate_multicore(
+            profiles, "lcp", dataclasses.replace(SIM, shards=2), "mix4")
+        assert _payload_text(routed) == _payload_text(direct)
+
+    def test_rejects_sanitize_and_faults(self):
+        profiles = mix_profiles("mix2")
+        with pytest.raises(ValueError):
+            ShardSupervisor(profiles, "compresso",
+                            dataclasses.replace(SIM, sanitize=True), 2)
+        with pytest.raises(ValueError):
+            ShardSupervisor(profiles, "compresso",
+                            dataclasses.replace(SIM, faults="line:0.1"), 2)
+
+
+class TestKillRecovery:
+    def test_sigkill_mid_run_replays_to_identical_result(self, tmp_path):
+        """The satellite e2e: a worker is SIGKILLed mid-sweep; the
+        respawned worker replays its fsync'd command log and the merged
+        result is byte-identical to the unkilled run."""
+        profiles = mix_profiles("mix2")
+        baseline = simulate_multicore(profiles, "compresso", SIM, "mix2")
+
+        tracer = Tracer()
+        injector = ChaosInjector(parse_chaos_spec("kill:1.0:1"), seed=3)
+        supervisor = ShardSupervisor(
+            profiles, "compresso", dataclasses.replace(SIM, shards=2), 2,
+            mix_name="mix2",
+            config=ShardRunConfig(segment_steps=256, max_respawns=32,
+                                  heartbeat_timeout_s=10.0),
+            run_dir=tmp_path, tracer=tracer, chaos=injector)
+        result = supervisor.run()
+
+        kills = [record for record in injector.records
+                 if record.site == "kill"]
+        assert kills, "chaos never fired — the test lost its point"
+        assert _payload_text(result) == _payload_text(baseline)
+        names = [event.name for event in tracer.events]
+        assert "shard_exit" in names
+        assert "shard_replay" in names
+        outcome = reconcile_chaos(injector.records, tracer.events)
+        assert outcome.silent == 0
+        assert outcome.recovered == len(kills)
+
+    def test_resume_after_supervisor_death(self, tmp_path):
+        """Shard logs + agreement checkpoints survive the supervisor;
+        a resumed supervisor replays every worker and lands on the
+        same bytes."""
+        profiles = mix_profiles("mix6")
+        supervisor = ShardSupervisor(
+            profiles, "compresso", dataclasses.replace(SIM, shards=2), 2,
+            mix_name="mix6", config=ShardRunConfig(segment_steps=256),
+            run_dir=tmp_path)
+        first = supervisor.run()
+        assert (tmp_path / "supervisor.jsonl").exists()
+
+        resumed = ShardSupervisor.resume(
+            tmp_path, config=ShardRunConfig(segment_steps=256))
+        second = resumed.run()
+        assert _payload_text(second) == _payload_text(first)
+
+
+class TestChaosCell:
+    def test_cell_is_clean_under_mixed_faults(self):
+        outcome = chaos_cell(
+            2, 0.3, message_spec="drop:0.2,dup:0.2,reorder:0.2,poison:0.2",
+            benchmarks=("gcc",), seed=1, n_events=200, segment_steps=150,
+            heartbeat_timeout_s=1.5)
+        assert outcome.injected > 0
+        assert outcome.silent == 0
+        assert not outcome.divergent
+        assert not outcome.error
+        assert outcome.detected + outcome.masked == outcome.injected
+
+    def test_spec_grammar_rejects_unknown_site(self):
+        with pytest.raises(ValueError):
+            parse_chaos_spec("segfault:0.5")
+        specs = parse_chaos_spec("kill:0.1,poison:0.05:2")
+        assert [(s.site, s.rate, s.burst) for s in specs] == [
+            ("kill", 0.1, 1), ("poison", 0.05, 2)]
+
+
+class TestFlowcheckSeesTheWorker:
+    def test_shard_main_is_a_dispatch_root(self):
+        """The ``worker=shard_main`` param channel must be visible to
+        the shared-state-race rule, or the worker tree would escape
+        race analysis."""
+        from pathlib import Path
+
+        from repro.check.flow import FlowProgram
+
+        root = Path(__file__).resolve().parent.parent
+        files = sorted((root / "src/repro/shard").glob("*.py"))
+        program = FlowProgram(root, files)
+        dispatched = {
+            site.target
+            for facts in program.graph.facts.values()
+            for site in facts.dispatches}
+        assert "repro.shard.worker.shard_main" in dispatched
